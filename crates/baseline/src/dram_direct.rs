@@ -1,0 +1,106 @@
+//! The abandoned DRAM-direct design (paper, section 3.5.2).
+//!
+//! "A second solution would be to have the ports transfer packets
+//! directly to and from DRAM, bypassing the FIFOs. ... it forces four
+//! memory accesses for each byte of a minimal-sized packet:
+//! port-to-DRAM, DRAM-to-registers, registers-to-DRAM, and
+//! DRAM-to-port. ... it does halve the maximum achievable throughput
+//! rate for 64-byte packets. One of our early implementations used this
+//! general strategy, and saturated DRAM while forwarding 2.69 Mpps."
+
+use npr_sim::Server;
+
+/// The DRAM-direct forwarding model.
+#[derive(Debug, Clone)]
+pub struct DramDirect {
+    /// DRAM peak bandwidth in bits per second (64-bit x 100 MHz).
+    pub dram_bps: u64,
+    /// Achievable fraction of peak under the random-ish access pattern
+    /// of four independent streams (row misses, refresh, turnarounds).
+    pub efficiency: f64,
+    /// Bytes of headers that must still visit MicroEngine registers for
+    /// packets larger than one MP (only the header is processed).
+    pub header_bytes: usize,
+}
+
+impl Default for DramDirect {
+    fn default() -> Self {
+        Self {
+            dram_bps: 6_400_000_000,
+            efficiency: 0.86,
+            header_bytes: 64,
+        }
+    }
+}
+
+impl DramDirect {
+    /// DRAM bytes moved per packet of `len` bytes: the full packet
+    /// crosses DRAM twice (port->DRAM, DRAM->port) and the header
+    /// additionally round-trips through registers.
+    pub fn dram_bytes_per_packet(&self, len: usize) -> usize {
+        2 * len + 2 * self.header_bytes.min(len)
+    }
+
+    /// Maximum forwarding rate for `len`-byte packets (DRAM-limited).
+    pub fn max_pps(&self, len: usize) -> f64 {
+        let bytes = self.dram_bytes_per_packet(len) as f64;
+        self.dram_bps as f64 * self.efficiency / (bytes * 8.0)
+    }
+
+    /// Event-driven check: pushes `n` packets through a DRAM server and
+    /// returns the sustained rate (validates the closed form).
+    pub fn simulate_pps(&self, len: usize, n: u64) -> f64 {
+        let mut dram = Server::new("dram");
+        let ps_per_byte = 8.0 * 1e12 / (self.dram_bps as f64 * self.efficiency);
+        let bytes = self.dram_bytes_per_packet(len) as f64;
+        let occ = (bytes * ps_per_byte) as u64;
+        let mut done = 0;
+        for _ in 0..n {
+            done = dram.admit(0, occ, occ);
+        }
+        n as f64 * 1e12 / done as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_269_mpps_wall() {
+        let d = DramDirect::default();
+        let pps = d.max_pps(64);
+        assert!(
+            (2_500_000.0..2_900_000.0).contains(&pps),
+            "got {pps} (paper: 2.69 Mpps)"
+        );
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        let d = DramDirect::default();
+        let sim = d.simulate_pps(64, 10_000);
+        let formula = d.max_pps(64);
+        assert!((sim / formula - 1.0).abs() < 0.01, "{sim} vs {formula}");
+    }
+
+    #[test]
+    fn large_packets_amortize_header_traffic() {
+        let d = DramDirect::default();
+        // Per-byte DRAM cost shrinks toward 2x for large packets.
+        let small = d.dram_bytes_per_packet(64) as f64 / 64.0;
+        let large = d.dram_bytes_per_packet(1500) as f64 / 1500.0;
+        assert!(small >= 3.9 && large < 2.2);
+    }
+
+    #[test]
+    fn halves_the_fifo_path_rate() {
+        // "it does halve the maximum achievable throughput rate for
+        // 64-byte packets" relative to the FIFO design's DRAM load
+        // (2 x 64 bytes per packet).
+        let d = DramDirect::default();
+        let fifo_bytes = 2 * 64;
+        let ratio = d.dram_bytes_per_packet(64) as f64 / fifo_bytes as f64;
+        assert_eq!(ratio, 2.0);
+    }
+}

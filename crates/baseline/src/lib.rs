@@ -1,0 +1,18 @@
+//! `npr-baseline`: the two comparison points the paper measures its
+//! design against.
+//!
+//! 1. A **pure PC-based router** (section 1: the IXP design is "nearly
+//!    an order of magnitude faster than existing pure PC-based
+//!    routers"): interrupt-driven packet handling on a single 733 MHz
+//!    processor, including the receive-livelock collapse under
+//!    overload that motivated much of the software-router literature.
+//! 2. The authors' own abandoned **DRAM-direct design** (section 3.5.2:
+//!    ports transfer packets directly to/from DRAM, "four memory
+//!    accesses for each byte of a minimal-sized packet... saturated
+//!    DRAM while forwarding 2.69 Mpps").
+
+pub mod dram_direct;
+pub mod pure_pc;
+
+pub use dram_direct::DramDirect;
+pub use pure_pc::PurePc;

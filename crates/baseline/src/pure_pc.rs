@@ -1,0 +1,118 @@
+//! The pure PC-based router baseline.
+//!
+//! A conventional NIC raises an interrupt per received packet; the
+//! kernel's handler pulls the packet off the ring, runs IP forwarding,
+//! and queues it for transmit — all on the one host CPU. Under
+//! overload, interrupt handling alone can consume the CPU and goodput
+//! collapses (receive livelock, Mogul & Ramakrishnan). The paper's
+//! contemporaries (Click on a 700 MHz PIII) forwarded in the 300-500
+//! Kpps range, which is what "nearly an order of magnitude" below
+//! 3.47 Mpps means.
+
+use npr_sim::PENTIUM_HZ;
+
+/// Cost model of the PC router (cycles at the host clock).
+#[derive(Debug, Clone, Copy)]
+pub struct PurePc {
+    /// CPU clock.
+    pub clock_hz: u64,
+    /// Interrupt entry/exit + NIC register servicing per packet.
+    pub interrupt_cycles: u64,
+    /// Driver work: ring manipulation, buffer allocation, DMA setup.
+    pub driver_cycles: u64,
+    /// IP forwarding proper (validate, route lookup, rewrite).
+    pub forward_cycles: u64,
+}
+
+impl Default for PurePc {
+    fn default() -> Self {
+        Self {
+            clock_hz: PENTIUM_HZ,
+            interrupt_cycles: 700,
+            driver_cycles: 500,
+            forward_cycles: 600,
+        }
+    }
+}
+
+impl PurePc {
+    /// Total per-packet cost when a packet is fully processed.
+    pub fn cycles_per_packet(&self) -> u64 {
+        self.interrupt_cycles + self.driver_cycles + self.forward_cycles
+    }
+
+    /// Maximum loss-free forwarding rate in packets per second.
+    pub fn max_pps(&self) -> f64 {
+        self.clock_hz as f64 / self.cycles_per_packet() as f64
+    }
+
+    /// Goodput (forwarded pps) at `offered` pps, modeling receive
+    /// livelock: every arrival costs its interrupt + driver cycles
+    /// whether or not the packet is eventually forwarded, so cycles
+    /// left for forwarding shrink as the offered load grows.
+    pub fn goodput_pps(&self, offered: f64) -> f64 {
+        let rx_cost = (self.interrupt_cycles + self.driver_cycles) as f64;
+        let spent_on_rx = offered * rx_cost;
+        let budget = self.clock_hz as f64;
+        if spent_on_rx >= budget {
+            // Pure livelock: all cycles go to taking interrupts.
+            return 0.0;
+        }
+        let forwardable = (budget - spent_on_rx) / self.forward_cycles as f64;
+        forwardable.min(offered)
+    }
+
+    /// The offered load at which goodput peaks (the knee).
+    pub fn knee_pps(&self) -> f64 {
+        self.max_pps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_rate_is_order_of_magnitude_below_ixp() {
+        let pc = PurePc::default();
+        let pps = pc.max_pps();
+        // ~407 Kpps: the 3.47 Mpps IXP router is ~8.5x faster.
+        assert!((350_000.0..500_000.0).contains(&pps), "pps {pps}");
+        assert!(3_470_000.0 / pps > 7.0);
+    }
+
+    #[test]
+    fn goodput_tracks_offered_below_knee() {
+        let pc = PurePc::default();
+        let g = pc.goodput_pps(100_000.0);
+        assert!((g - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn goodput_collapses_under_overload() {
+        let pc = PurePc::default();
+        let knee = pc.knee_pps();
+        let at_knee = pc.goodput_pps(knee);
+        let at_2x = pc.goodput_pps(2.0 * knee);
+        let at_inf = pc.goodput_pps(1e9);
+        assert!(at_2x < at_knee);
+        assert_eq!(at_inf, 0.0, "receive livelock");
+    }
+
+    #[test]
+    fn goodput_is_monotone_then_decreasing() {
+        let pc = PurePc::default();
+        let mut last = 0.0;
+        let mut peaked = false;
+        for i in 1..40 {
+            let g = pc.goodput_pps(i as f64 * 25_000.0);
+            if g < last {
+                peaked = true;
+            } else if g > last {
+                assert!(!peaked, "goodput rose again after the knee");
+            }
+            last = g;
+        }
+        assert!(peaked);
+    }
+}

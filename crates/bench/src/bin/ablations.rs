@@ -1,0 +1,56 @@
+//! `ablations`: design-choice studies beyond the paper's tables.
+
+use npr_bench::exp_ablations as ab;
+use npr_bench::{WARMUP, WINDOW};
+
+fn print_series(title: &str, rows: &[(String, f64)], unit: &str) {
+    println!("\n== {title} ==");
+    for (label, v) in rows {
+        println!("{label:<36} {v:>8.3} {unit}");
+    }
+}
+
+fn main() {
+    print_series(
+        "Lock strategy under max queue contention (I.3 workload)",
+        &ab::lock_strategy(WARMUP, WINDOW),
+        "Mpps",
+    );
+    print_series(
+        "MicroEngine split (full system)",
+        &ab::me_split(WARMUP, WINDOW),
+        "Mpps",
+    );
+    print_series(
+        "Token-rotation order (full system)",
+        &ab::ring_order(WARMUP, WINDOW),
+        "Mpps",
+    );
+    print_series(
+        "Transmit batch size (O.1)",
+        &ab::batch_size(WARMUP, WINDOW),
+        "Mpps",
+    );
+    println!("\n== Buffer-pool size vs. lap losses (slow output) ==");
+    for (label, mpps, laps) in ab::pool_size(WARMUP, WINDOW) {
+        println!("{label:<36} {mpps:>8.3} Mpps  {laps:>8} lap losses");
+    }
+    println!("\n== Trie stride configurations (controlled prefix expansion) ==");
+    for (label, levels, entries) in ab::trie_strides() {
+        println!("{label:<20} mean {levels:.2} levels   {entries:>8} expanded entries");
+    }
+    println!("\n== Forwarding latency vs. offered load (8 x 100 Mbps) ==");
+    for (frac, avg, max) in ab::latency_curve(WARMUP, WINDOW) {
+        println!(
+            "{:>5.0}% line rate   mean {avg:>7.1} us   max {max:>7.1} us",
+            frac * 100.0
+        );
+    }
+    println!("\n== Route-cache size vs. hit rate (many-flow workload) ==");
+    for (label, hit, sa_kpps) in ab::cache_size(WARMUP, WINDOW) {
+        println!(
+            "{label:<36} {:>7.1}% hits  {sa_kpps:>7.1} Kpps on the StrongARM",
+            hit * 100.0
+        );
+    }
+}

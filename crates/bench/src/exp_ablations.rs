@@ -1,0 +1,254 @@
+//! Ablation studies: the design choices the paper argues for, measured
+//! by switching each one off.
+//!
+//! * **Token passing vs. test-and-set** (section 3.4.2): the paper
+//!   rejected spin locks after observing "performance-crippling memory
+//!   contention"; we rebuild that experiment.
+//! * **MicroEngine split** (section 3.5.1's 4/2 choice).
+//! * **Token-rotation interleaving** (section 3.2.2: hand the token to
+//!   a context on another MicroEngine).
+//! * **Transmit batch size** (section 3.4.3).
+//! * **Buffer-pool size** (section 3.2.3's one-lap lifetime): smaller
+//!   pools trade memory for packet loss under backlog.
+
+use npr_core::{InputDiscipline, Router, RouterConfig};
+use npr_sim::Time;
+
+/// `(label, Mpps)` rows for one ablation axis.
+pub type Series = Vec<(String, f64)>;
+
+/// Token-passing mutexes vs. test-and-set spin locks under queue
+/// contention (the I.3 workload).
+pub fn lock_strategy(warmup: Time, window: Time) -> Series {
+    let mut out = Vec::new();
+    for (label, spin) in [
+        ("hardware mutex (paper)", false),
+        ("test-and-set spinlock", true),
+    ] {
+        let mut cfg = RouterConfig::table1_input(InputDiscipline::ProtectedShared, true);
+        cfg.chip.spinlock_mutexes = spin;
+        let mut r = Router::new(cfg);
+        let rep = r.measure(warmup, window);
+        out.push((label.to_string(), rep.forward_mpps));
+    }
+    out
+}
+
+/// Input/output MicroEngine split for the full system.
+pub fn me_split(warmup: Time, window: Time) -> Series {
+    [(8usize, 16usize), (12, 12), (16, 8), (20, 4)]
+        .iter()
+        .map(|&(inp, outp)| {
+            let mut cfg = RouterConfig::table1_system();
+            cfg.input_ctxs = inp;
+            cfg.output_ctxs = outp;
+            let mut r = Router::new(cfg);
+            let rep = r.measure(warmup, window);
+            (
+                format!("{}/{} input/output MEs", inp / 4, outp / 4),
+                rep.forward_mpps,
+            )
+        })
+        .collect()
+}
+
+/// Interleaved vs. sequential token-ring ordering.
+pub fn ring_order(warmup: Time, window: Time) -> Series {
+    let mut out = Vec::new();
+    for (label, il) in [
+        ("interleaved rotation (paper)", true),
+        ("sequential rotation", false),
+    ] {
+        let mut cfg = RouterConfig::table1_system();
+        cfg.interleave_rings = il;
+        let mut r = Router::new(cfg);
+        let rep = r.measure(warmup, window);
+        out.push((label.to_string(), rep.forward_mpps));
+    }
+    out
+}
+
+/// Transmit batch size (O.1's amortization depth).
+pub fn batch_size(warmup: Time, window: Time) -> Series {
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&b| {
+            let mut cfg = RouterConfig::table1_system();
+            cfg.out_batch = b;
+            let mut r = Router::new(cfg);
+            let rep = r.measure(warmup, window);
+            (format!("batch {b}"), rep.forward_mpps)
+        })
+        .collect()
+}
+
+/// Buffer-pool size vs. lap losses with a deliberately slowed output
+/// side (2 output contexts for 16 input contexts).
+pub fn pool_size(warmup: Time, window: Time) -> Vec<(String, f64, u64)> {
+    [64usize, 256, 1024, 8192]
+        .iter()
+        .map(|&n| {
+            let mut cfg = RouterConfig::table1_system();
+            cfg.pool_bufs = n;
+            cfg.output_ctxs = 2;
+            cfg.queue_cap = 4096;
+            // All traffic to one queue: the backlog ages descriptors
+            // past their buffers' one-lap lifetime.
+            cfg.traffic = npr_core::config::TrafficTemplate::AllToOne;
+            let mut r = Router::new(cfg);
+            let rep = r.measure(warmup, window);
+            (format!("{n} buffers"), rep.forward_mpps, rep.lap_losses)
+        })
+        .collect()
+}
+
+/// Controlled-prefix-expansion stride configurations: lookup depth vs.
+/// expanded memory, over the same route set. Returns
+/// `(label, mean levels, expanded entries)`.
+pub fn trie_strides() -> Vec<(String, f64, usize)> {
+    let stride_sets: [&[u8]; 4] = [&[16, 8, 8], &[24, 8], &[8, 8, 8, 8], &[16, 16]];
+    stride_sets
+        .iter()
+        .map(|strides| {
+            let mut t = npr_route::PrefixTrie::new(strides);
+            let mut rng = npr_sim::XorShift64::new(7);
+            let mut prefixes = Vec::new();
+            for i in 0..400u32 {
+                let plen = [16u8, 20, 24, 24, 24, 28][rng.below(6) as usize];
+                let addr = rng.next_u32() & (u32::MAX << (32 - plen));
+                prefixes.push((addr, plen));
+                t.insert(addr, plen, i);
+            }
+            for _ in 0..5000 {
+                let (a, l) = prefixes[rng.below(prefixes.len() as u64) as usize];
+                let host = rng.next_u32() & !(u32::MAX << (32 - l.min(31)));
+                t.lookup(a | host);
+            }
+            let s = t.stats();
+            (format!("{strides:?}"), s.mean_levels(), s.entries)
+        })
+        .collect()
+}
+
+/// Forwarding latency vs. offered load into ONE congested output port
+/// (four ingress ports converging): the classic queueing-delay curve
+/// rising toward the wire-rate asymptote. Returns
+/// `(fraction of the output port's capacity, mean us, max us)`.
+pub fn latency_curve(warmup: Time, window: Time) -> Vec<(f64, f64, f64)> {
+    [0.3f64, 0.6, 0.85, 0.95, 1.1]
+        .iter()
+        .map(|&frac| {
+            let mut r = Router::new(RouterConfig::line_rate());
+            // Four bursty (Poisson) streams converge on port 0's
+            // 100 Mbps wire; randomness makes the queueing delay grow
+            // smoothly with utilization, as theory says it must.
+            let port_pps = 148_809.5;
+            for (i, p) in [1usize, 2, 3, 4].into_iter().enumerate() {
+                let src = npr_traffic::PoissonSource::new(
+                    port_pps * frac / 4.0,
+                    npr_traffic::FrameSpec {
+                        dst: u32::from_be_bytes([10, 0, 0, 1]),
+                        ..Default::default()
+                    },
+                    1000 + i as u64,
+                    u64::MAX,
+                );
+                r.attach_source(p, Box::new(src));
+            }
+            let rep = r.measure(warmup, window);
+            (frac, rep.latency_avg_us, rep.latency_max_us)
+        })
+        .collect()
+}
+
+/// Route-cache size vs. StrongARM miss load under a many-flow workload.
+pub fn cache_size(warmup: Time, window: Time) -> Vec<(String, f64, f64)> {
+    [16usize, 64, 256, 4096]
+        .iter()
+        .map(|&slots| {
+            let mut cfg = RouterConfig::line_rate();
+            cfg.route_cache_slots = slots;
+            let mut r = Router::new(cfg);
+            // 512 distinct destinations over the 8 routed /16s.
+            let frames: Vec<(Time, Vec<u8>)> = (0..4000u64)
+                .map(|i| {
+                    let spec = npr_traffic::FrameSpec {
+                        dst: u32::from_be_bytes([10, (i % 8) as u8, (i % 64) as u8, 1]),
+                        ..Default::default()
+                    };
+                    (i * 7_000_000, npr_traffic::udp_frame(&spec, &[]))
+                })
+                .collect();
+            r.attach_source(0, Box::new(npr_traffic::TraceSource::new(frames)));
+            let rep = r.measure(warmup, window);
+            let (hits, misses) = r.world.table.cache_stats();
+            let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+            (format!("{slots} slots"), hit_rate, rep.sa_kpps)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npr_core::ms;
+
+    #[test]
+    fn spinlocks_cripple_contended_input() {
+        let rows = lock_strategy(ms(1), ms(2));
+        let mutex = rows[0].1;
+        let spin = rows[1].1;
+        assert!(
+            spin < mutex * 0.85,
+            "spinlock should degrade clearly: {spin} vs {mutex}"
+        );
+    }
+
+    #[test]
+    fn the_paper_4_2_split_is_best() {
+        let rows = me_split(ms(1), ms(2));
+        let best = rows.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        assert!(best.0.starts_with("4/2"), "best split was {}", best.0);
+    }
+
+    #[test]
+    fn batching_monotonically_helps() {
+        let rows = batch_size(ms(1), ms(2));
+        assert!(rows.last().unwrap().1 >= rows.first().unwrap().1);
+    }
+
+    #[test]
+    fn deeper_strides_trade_memory_for_levels() {
+        let rows = trie_strides();
+        let find = |label: &str| rows.iter().find(|r| r.0 == label).unwrap();
+        let classic = find("[16, 8, 8]");
+        let wide = find("[16, 16]");
+        let deep = find("[8, 8, 8, 8]");
+        // Wider second level costs more memory but fewer levels.
+        assert!(wide.2 > classic.2);
+        assert!(wide.1 <= classic.1 + 1e-9);
+        // Deeper tries cost more levels but less memory.
+        assert!(deep.1 > classic.1);
+    }
+
+    #[test]
+    fn latency_grows_with_congestion() {
+        let pts = latency_curve(ms(2), ms(6));
+        assert!(pts[0].1 > 0.0, "latency measured");
+        assert!(
+            pts.last().unwrap().1 > 4.0 * pts[0].1,
+            "queueing delay must rise toward saturation: {pts:?}"
+        );
+        // Light load latency is a few microseconds (pipeline depth).
+        assert!(pts[0].1 < 60.0, "light-load latency {:.1} us", pts[0].1);
+    }
+
+    #[test]
+    fn small_pools_lose_packets_under_backlog() {
+        let rows = pool_size(ms(1), ms(3));
+        let tiny = &rows[0];
+        let paper = rows.last().unwrap();
+        assert!(tiny.2 > 0, "64-buffer pool must lap: {tiny:?}");
+        assert_eq!(paper.2, 0, "the 8192-buffer pool must not: {paper:?}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Baseline comparisons (sections 1 and 3.5.2).
+
+use npr_baseline::{DramDirect, PurePc};
+use npr_core::{Router, RouterConfig};
+use npr_sim::Time;
+
+use crate::exp_tables::PaperVsMeasured;
+
+/// Baseline comparison results.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Rows for the report.
+    pub rows: Vec<PaperVsMeasured>,
+    /// Speedup of the IXP router over the pure PC.
+    pub speedup: f64,
+    /// Pure-PC goodput curve `(offered Kpps, goodput Kpps)` exhibiting
+    /// receive livelock.
+    pub livelock_curve: Vec<(f64, f64)>,
+}
+
+/// Runs the comparison.
+pub fn baseline(warmup: Time, window: Time) -> BaselineResult {
+    let mut r = Router::new(RouterConfig::table1_system());
+    let ixp = r.measure(warmup, window).forward_mpps;
+    let pc = PurePc::default();
+    let pc_mpps = pc.max_pps() / 1e6;
+    let dd = DramDirect::default();
+    let dd_mpps = dd.simulate_pps(64, 20_000) / 1e6;
+    let rows = vec![
+        PaperVsMeasured {
+            label: "IXP router (I.2 + O.1)".into(),
+            paper: 3.47,
+            measured: ixp,
+            unit: "Mpps",
+        },
+        PaperVsMeasured {
+            label: "pure PC router".into(),
+            // "nearly an order of magnitude" below 3.47 Mpps.
+            paper: 0.40,
+            measured: pc_mpps,
+            unit: "Mpps",
+        },
+        PaperVsMeasured {
+            label: "DRAM-direct early design".into(),
+            paper: 2.69,
+            measured: dd_mpps,
+            unit: "Mpps",
+        },
+    ];
+    let livelock_curve = (1..=12)
+        .map(|i| {
+            let offered = i as f64 * 100_000.0;
+            (offered / 1e3, pc.goodput_pps(offered) / 1e3)
+        })
+        .collect();
+    BaselineResult {
+        rows,
+        speedup: ixp / pc_mpps,
+        livelock_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npr_core::ms;
+
+    #[test]
+    fn ixp_is_nearly_an_order_of_magnitude_faster() {
+        let b = baseline(ms(1), ms(2));
+        assert!(b.speedup > 7.0, "speedup {}", b.speedup);
+        assert!(b.speedup < 12.0, "speedup {}", b.speedup);
+    }
+
+    #[test]
+    fn dram_direct_lands_near_paper() {
+        let b = baseline(ms(1), ms(1));
+        let dd = &b.rows[2];
+        assert!(dd.deviation_pct().abs() < 8.0, "{dd:?}");
+    }
+
+    #[test]
+    fn livelock_curve_peaks_then_falls() {
+        let b = baseline(ms(1), ms(1));
+        let peak = b
+            .livelock_curve
+            .iter()
+            .cloned()
+            .fold(0.0f64, |m, (_, g)| m.max(g));
+        let last = b.livelock_curve.last().unwrap().1;
+        assert!(last < peak * 0.5, "no livelock: last {last}, peak {peak}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Plain-text report formatting.
+
+use crate::exp_tables::PaperVsMeasured;
+
+/// Formats a paper-vs-measured table with a header line.
+pub fn rows(title: &str, rows: &[PaperVsMeasured]) -> String {
+    let mut s = format!("\n== {title} ==\n");
+    s.push_str(&format!(
+        "{:<48} {:>10} {:>10} {:>8}\n",
+        "row", "paper", "measured", "dev%"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<48} {:>7.2} {:<2} {:>7.2} {:<2} {:>+7.1}%\n",
+            r.label,
+            r.paper,
+            r.unit,
+            r.measured,
+            r.unit,
+            r.deviation_pct()
+        ));
+    }
+    s
+}
+
+/// Formats an x/y series.
+pub fn series(title: &str, xlabel: &str, pts: &[(f64, f64)], unit: &str) -> String {
+    let mut s = format!("\n== {title} ==\n{xlabel:>10} {unit:>12}\n");
+    for &(x, y) in pts {
+        s.push_str(&format!("{x:>10.0} {y:>12.3}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_without_panic() {
+        let r = PaperVsMeasured {
+            label: "x".into(),
+            paper: 1.0,
+            measured: 1.1,
+            unit: "Mpps",
+        };
+        let out = rows("t", &[r]);
+        assert!(out.contains("+10.0%"));
+        let out = series("s", "n", &[(1.0, 2.0)], "Mpps");
+        assert!(out.contains("2.000"));
+    }
+}

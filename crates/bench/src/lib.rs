@@ -1,0 +1,33 @@
+//! `npr-bench`: the experiment harness.
+//!
+//! One function per table and figure of the paper's evaluation. Each
+//! returns structured results carrying both the paper's published value
+//! and our measured value; the `experiments` binary formats them and
+//! `cargo bench` runs reduced-duration versions under Criterion.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p npr-bench --bin experiments -- all
+//! ```
+
+pub mod exp_ablations;
+pub mod exp_baseline;
+pub mod exp_figures;
+pub mod exp_robustness;
+pub mod exp_tables;
+pub mod fmt;
+
+pub use exp_baseline::{baseline, BaselineResult};
+pub use exp_figures::{fig10, fig7, fig9, Fig10Point, Fig7Result, Fig9Series};
+pub use exp_robustness::{budget, flood, linerate, robustness, slowpath, strongarm};
+pub use exp_tables::{table1, table2, table3, table4, table5_rows, PaperVsMeasured};
+
+/// Default warmup for measurement windows (simulated time).
+pub const WARMUP: npr_sim::Time = npr_core::ms(1);
+
+/// Default measurement window (simulated time).
+pub const WINDOW: npr_sim::Time = npr_core::ms(4);
+
+/// Short window for Criterion benches.
+pub const BENCH_WINDOW: npr_sim::Time = npr_core::ms(1);

@@ -1,0 +1,248 @@
+//! Router configuration and the named experiment setups.
+
+use npr_ixp::ChipConfig;
+
+use crate::costs::{PeCosts, SaCosts};
+use crate::queues::{InputDiscipline, OutputDiscipline};
+use crate::world::RunMode;
+
+/// Template traffic used in ideal-port (FIFO-to-FIFO) experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficTemplate {
+    /// Each port's template packet is routed to a distinct output port
+    /// (no two packets contend for a queue — Table 1's "no contention").
+    UniformSpread,
+    /// Every template is routed to the same output queue (Table 1's
+    /// "max. contention", row I.3).
+    AllToOne,
+    /// No templates: real traffic sources drive the ports.
+    Sources,
+}
+
+/// Full router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Chip timing configuration.
+    pub chip: ChipConfig,
+    /// Run mode.
+    pub mode: RunMode,
+    /// Number of input contexts (packed onto MicroEngines 0..).
+    pub input_ctxs: usize,
+    /// Number of output contexts (packed after the input contexts in
+    /// system mode, or onto MicroEngines 0.. when `input_ctxs == 0`).
+    pub output_ctxs: usize,
+    /// Ports carrying traffic.
+    pub ports_in_use: usize,
+    /// Input queue-access discipline.
+    pub in_discipline: InputDiscipline,
+    /// Output servicing discipline.
+    pub out_discipline: OutputDiscipline,
+    /// Queues per output port (1, or 16 for O.3-style setups).
+    pub queues_per_port: usize,
+    /// Queue capacity in descriptors.
+    pub queue_cap: usize,
+    /// Packet-buffer count (8192 on the board; smaller pools make the
+    /// lap-lifetime experiments fast).
+    pub pool_bufs: usize,
+    /// Template traffic shape.
+    pub traffic: TrafficTemplate,
+    /// Template frame length.
+    pub frame_len: usize,
+    /// Divert this permille of packets to the Pentium (0 = off).
+    pub divert_pe_permille: u32,
+    /// Divert this permille of packets to the StrongARM (0 = off).
+    pub divert_sa_permille: u32,
+    /// Move only head + routing header over PCI (section 3.7's lazy
+    /// body retrieval).
+    pub lazy_body: bool,
+    /// StrongARM cost model.
+    pub sa_costs: SaCosts,
+    /// Pentium cost model.
+    pub pe_costs: PeCosts,
+    /// StrongARM synthetic feed for Table 4: `(frame_len, lazy)`.
+    pub sa_synth_feed: Option<(usize, bool)>,
+    /// StrongARM interrupt mode (vs. polling).
+    pub sa_interrupts: bool,
+    /// Pentium I2O buffer count.
+    pub pe_buffers: usize,
+    /// Pentium flow classes.
+    pub pe_classes: usize,
+    /// Per-packet delay loops (spare-cycle probing).
+    pub sa_delay_loop: u64,
+    /// Per-packet delay loops on the Pentium.
+    pub pe_delay_loop: u64,
+    /// Order token rings so consecutive members sit on different
+    /// MicroEngines (the paper's section 3.2.2 layout). Disable as an
+    /// ablation to see what naive sequential ordering costs.
+    pub interleave_rings: bool,
+    /// Transmit batch size for the O.1 discipline (descriptors drained
+    /// per head-pointer read).
+    pub out_batch: usize,
+    /// Route-cache slots.
+    pub route_cache_slots: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            chip: ChipConfig::ideal(),
+            mode: RunMode::System,
+            input_ctxs: 16,
+            output_ctxs: 8,
+            ports_in_use: 8,
+            in_discipline: InputDiscipline::ProtectedShared,
+            out_discipline: OutputDiscipline::SingleBatched,
+            queues_per_port: 1,
+            queue_cap: 256,
+            pool_bufs: 8192,
+            traffic: TrafficTemplate::UniformSpread,
+            frame_len: 60,
+            divert_pe_permille: 0,
+            divert_sa_permille: 0,
+            lazy_body: true,
+            sa_costs: SaCosts::default(),
+            pe_costs: PeCosts::default(),
+            sa_synth_feed: None,
+            sa_interrupts: false,
+            pe_buffers: 64,
+            pe_classes: 1,
+            sa_delay_loop: 0,
+            pe_delay_loop: 0,
+            interleave_rings: true,
+            out_batch: 16,
+            route_cache_slots: 4096,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Table 1, input rows: 4 MicroEngines (16 contexts) of input
+    /// processing only, ideal ports.
+    pub fn table1_input(d: InputDiscipline, contended: bool) -> Self {
+        Self {
+            mode: RunMode::InputOnly,
+            input_ctxs: 16,
+            output_ctxs: 0,
+            in_discipline: d,
+            queues_per_port: match d {
+                InputDiscipline::PrivatePerCtx => 16,
+                InputDiscipline::ProtectedShared => 1,
+            },
+            traffic: if contended {
+                TrafficTemplate::AllToOne
+            } else {
+                TrafficTemplate::UniformSpread
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Table 1, output rows: 2 MicroEngines (8 contexts) of output
+    /// processing only.
+    pub fn table1_output(d: OutputDiscipline) -> Self {
+        Self {
+            mode: RunMode::OutputOnly,
+            input_ctxs: 0,
+            output_ctxs: 8,
+            out_discipline: d,
+            queues_per_port: if d == OutputDiscipline::MultiIndirect {
+                16
+            } else {
+                1
+            },
+            ..Self::default()
+        }
+    }
+
+    /// The headline I.2 + O.1 system: 4 input MEs + 2 output MEs.
+    pub fn table1_system() -> Self {
+        Self::default()
+    }
+
+    /// Figure 7: input-only scaling with `n` contexts on the minimum
+    /// number of MicroEngines.
+    pub fn fig7_input(n: usize) -> Self {
+        Self {
+            mode: RunMode::InputOnly,
+            input_ctxs: n,
+            output_ctxs: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Figure 7: output-only scaling with `n` contexts.
+    pub fn fig7_output(n: usize) -> Self {
+        Self {
+            mode: RunMode::OutputOnly,
+            input_ctxs: 0,
+            output_ctxs: n,
+            ..Self::default()
+        }
+    }
+
+    /// Section 3.5.1: real 8 x 100 Mbps ports at line rate.
+    pub fn line_rate() -> Self {
+        Self {
+            chip: ChipConfig::default(),
+            traffic: TrafficTemplate::Sources,
+            ..Self::default()
+        }
+    }
+
+    /// Section 3.6: every packet diverted to the StrongARM null
+    /// forwarder (path B).
+    pub fn strongarm_null() -> Self {
+        Self {
+            divert_sa_permille: 1000,
+            ..Self::default()
+        }
+    }
+
+    /// Table 4: StrongARM feeds synthetic packets of `frame_len` to the
+    /// Pentium as fast as possible; `lazy` selects header-only transfer.
+    pub fn pentium_path(frame_len: usize, lazy: bool) -> Self {
+        Self {
+            mode: RunMode::System,
+            input_ctxs: 0,
+            output_ctxs: 8,
+            sa_synth_feed: Some((frame_len, lazy)),
+            lazy_body: lazy,
+            frame_len,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_4_2_split() {
+        let c = RouterConfig::default();
+        assert_eq!(c.input_ctxs, 16);
+        assert_eq!(c.output_ctxs, 8);
+        assert!(c.chip.ideal_ports);
+    }
+
+    #[test]
+    fn private_input_gets_per_ctx_queues() {
+        let c = RouterConfig::table1_input(InputDiscipline::PrivatePerCtx, false);
+        assert_eq!(c.queues_per_port, 16);
+        let c = RouterConfig::table1_input(InputDiscipline::ProtectedShared, true);
+        assert_eq!(c.traffic, TrafficTemplate::AllToOne);
+    }
+
+    #[test]
+    fn fig7_uses_requested_contexts() {
+        assert_eq!(RouterConfig::fig7_input(12).input_ctxs, 12);
+        assert_eq!(RouterConfig::fig7_output(20).output_ctxs, 20);
+    }
+
+    #[test]
+    fn line_rate_uses_real_ports() {
+        let c = RouterConfig::line_rate();
+        assert!(!c.chip.ideal_ports);
+        assert_eq!(c.traffic, TrafficTemplate::Sources);
+    }
+}

@@ -1,0 +1,60 @@
+//! `npr-core`: the extensible software router — the paper's primary
+//! contribution.
+//!
+//! The router is a three-level processor hierarchy:
+//!
+//! * **MicroEngines** run the fixed router infrastructure (RI): the
+//!   input loop ([`input`]) and output loop ([`output`]) of the paper's
+//!   Figures 5/6, over SRAM packet queues ([`queues`]) with the six
+//!   queueing disciplines of Table 1 — plus injected VRP forwarders
+//!   within a verified budget.
+//! * The **StrongARM** ([`sa`]) runs a minimal OS: a bridge that feeds
+//!   the Pentium over I2O queue pairs ([`pci`]), a route-cache miss
+//!   handler, and a small set of local forwarders.
+//! * The **Pentium** ([`pe`]) runs the control plane: installed control
+//!   forwarders under a stride proportional-share scheduler ([`sched`]).
+//!
+//! Extensibility is provided by the `install / remove / getdata /
+//! setdata` interface ([`install`]) guarded by admission control, and
+//! the whole assembly is driven by [`router::Router`], which owns the
+//! shared event loop.
+//!
+//! # Quick start
+//!
+//! ```
+//! use npr_core::{Router, RouterConfig};
+//!
+//! // The paper's headline configuration: 4 input MEs, 2 output MEs,
+//! // ideal ports (FIFO-to-FIFO measurement mode).
+//! let mut r = Router::new(RouterConfig::table1_system());
+//! let report = r.measure(npr_core::ms(1), npr_core::ms(4));
+//! assert!(report.forward_mpps > 2.0);
+//! ```
+
+pub mod classify;
+pub mod config;
+pub mod costs;
+pub mod fabric;
+pub mod input;
+pub mod install;
+pub mod output;
+pub mod pci;
+pub mod pe;
+pub mod queues;
+pub mod router;
+pub mod sa;
+pub mod sched;
+pub mod trace;
+pub mod wfq;
+pub mod world;
+
+pub use classify::{Classifier, FlowKey, Key, WhereRun};
+pub use config::{RouterConfig, TrafficTemplate};
+pub use costs::{InputCosts, OutputCosts, PeCosts, SaCosts, INPUT_MEM_OPS, OUTPUT_MEM_OPS};
+pub use fabric::Fabric;
+pub use install::{AdmitError, Fid, InstallRequest};
+pub use queues::{InputDiscipline, OutputDiscipline, PacketQueue, QueuePlane};
+pub use router::{ms, us, Report, Router};
+pub use trace::{TraceEvent, TraceStep, Tracer};
+pub use wfq::{WfqMapper, WfqState};
+pub use world::{Escalation, RouterWorld, RunMode};

@@ -1,0 +1,150 @@
+//! The PCI bus and I2O queue pairs (paper, section 3.7).
+//!
+//! "We move packets between the IXP1200 and the Pentium over the PCI
+//! bus. Our implementation uses the IXP1200's DMA engine, plus queue
+//! management hardware registers supporting the Intelligent I/O (I2O)
+//! standard. ... One queue contains pointers to empty buffers in Pentium
+//! memory, and the other contains pointers to full buffers."
+//!
+//! The bus is a 32-bit 33 MHz shared server (132 MB/s peak) with a
+//! per-transaction arbitration/setup overhead. At 1500-byte packets the
+//! bus, not the StrongARM, becomes the bottleneck — reproducing Table
+//! 4's 43.6 Kpps row.
+
+use npr_sim::{Server, Time, PS_PER_SEC};
+
+/// PCI payload bandwidth: 32 bit x 33 MHz = 132 MB/s.
+pub const PCI_BYTES_PER_SEC: u64 = 132_000_000;
+
+/// Per-transaction overhead (arbitration, address phase, DMA setup).
+pub const PCI_TXN_OVERHEAD_PS: Time = 300_000; // 300 ns.
+
+/// The internal routing header prepended to packets crossing the bus
+/// ("an 8-byte internal routing header that informs the Pentium of (1)
+/// the classification decision ... and (2) how to retrieve the rest of
+/// the message (lazily)").
+pub const ROUTING_HEADER_BYTES: usize = 8;
+
+/// The shared PCI bus plus I2O buffer accounting.
+#[derive(Debug)]
+pub struct Pci {
+    bus: Server,
+    /// Free Pentium-side packet buffers (the I2O free queue depth).
+    free_buffers: usize,
+    capacity: usize,
+    bytes_moved: u64,
+    transfers: u64,
+}
+
+impl Pci {
+    /// Creates a bus with `buffers` I2O packet buffers.
+    pub fn new(buffers: usize) -> Self {
+        Self {
+            bus: Server::new("pci"),
+            free_buffers: buffers,
+            capacity: buffers,
+            bytes_moved: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Admits a DMA of `bytes` at `now`; returns its completion time.
+    /// The bus is shared between both directions.
+    pub fn transfer(&mut self, now: Time, bytes: usize) -> Time {
+        self.bytes_moved += bytes as u64;
+        self.transfers += 1;
+        let occ = PCI_TXN_OVERHEAD_PS + bytes as u64 * 8 * PS_PER_SEC / (PCI_BYTES_PER_SEC * 8);
+        self.bus.admit(now, occ, occ)
+    }
+
+    /// Tries to claim a free Pentium-side buffer (the SA's pull from the
+    /// free queue). Returns `false` when none are available.
+    pub fn claim_buffer(&mut self) -> bool {
+        if self.free_buffers == 0 {
+            return false;
+        }
+        self.free_buffers -= 1;
+        true
+    }
+
+    /// Returns a buffer to the free queue (write-back complete or packet
+    /// consumed).
+    pub fn release_buffer(&mut self) {
+        debug_assert!(self.free_buffers < self.capacity, "double release");
+        self.free_buffers = (self.free_buffers + 1).min(self.capacity);
+    }
+
+    /// Free-buffer count.
+    pub fn free_buffers(&self) -> usize {
+        self.free_buffers
+    }
+
+    /// Total bytes DMAed.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Total transfers.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Bus utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        self.bus.utilization(horizon)
+    }
+
+    /// Clears counters.
+    pub fn reset_stats(&mut self) {
+        self.bytes_moved = 0;
+        self.transfers = 0;
+        self.bus.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_overhead_and_bytes() {
+        let mut p = Pci::new(4);
+        // 1320 bytes at 132 MB/s = 10 us + 0.3 us overhead.
+        let t = p.transfer(0, 1320);
+        assert_eq!(t, 10_300_000);
+    }
+
+    #[test]
+    fn bus_is_shared_fifo() {
+        let mut p = Pci::new(4);
+        let t0 = p.transfer(0, 1320);
+        let t1 = p.transfer(0, 1320);
+        assert_eq!(t1 - t0, t0);
+    }
+
+    #[test]
+    fn buffer_accounting() {
+        let mut p = Pci::new(2);
+        assert!(p.claim_buffer());
+        assert!(p.claim_buffer());
+        assert!(!p.claim_buffer());
+        p.release_buffer();
+        assert!(p.claim_buffer());
+        assert_eq!(p.free_buffers(), 0);
+    }
+
+    #[test]
+    fn full_size_packets_cap_near_44kpps() {
+        // Table 4's 1500-byte row: two crossings of 1508 bytes per
+        // packet saturate the bus around 43-44 Kpps.
+        let mut p = Pci::new(64);
+        let n = 1000;
+        let mut done = 0;
+        for _ in 0..n {
+            let _ = p.transfer(0, 1508);
+            done = p.transfer(0, 1508);
+        }
+        let kpps = n as f64 / (done as f64 / 1e12) / 1e3;
+        assert!((40.0..48.0).contains(&kpps), "got {kpps} Kpps");
+    }
+}

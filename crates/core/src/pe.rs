@@ -1,0 +1,206 @@
+//! The Pentium level: installed control forwarders under proportional
+//! share (paper, sections 3.7 / 4.1 / 4.6).
+
+use npr_sim::Time;
+
+use crate::costs::PeCosts;
+use crate::sched::Stride;
+use crate::world::RouterWorld;
+
+/// Signature of a Pentium forwarder: the lazily-fetched head bytes plus
+/// world access (control forwarders update routes / read monitors).
+pub type PePacketFn = Box<dyn FnMut(&mut [u8; 64], &mut RouterWorld) -> PeAction>;
+
+/// What a Pentium forwarder did with its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeAction {
+    /// Write the (possibly modified) packet back to the IXP for
+    /// transmission.
+    Forward,
+    /// Discard.
+    Drop,
+    /// Consume (control traffic: routing updates, monitor reports).
+    Consume,
+}
+
+/// A packet as it exists on the Pentium: the lazily transferred head
+/// plus retrieval metadata.
+#[derive(Debug, Clone)]
+pub struct PeItem {
+    /// Queue descriptor on the IXP side.
+    pub desc: u32,
+    /// Flow class (stride-scheduler input).
+    pub flow: u8,
+    /// Jump-table index (`u32::MAX` = null forwarder).
+    pub fwdr: u32,
+    /// First 64 bytes of the packet.
+    pub head: [u8; 64],
+    /// Full frame length.
+    pub len: u16,
+    /// MP count (for write-back sizing).
+    pub mps: u8,
+    /// True when only the head crossed the bus.
+    pub lazy: bool,
+}
+
+/// An installed Pentium forwarder.
+pub struct PeForwarder {
+    /// Name for reports.
+    pub name: String,
+    /// Cycles at 733 MHz per packet.
+    pub cycles: u64,
+    /// Proportional-share tickets.
+    pub tickets: u64,
+    /// Admission-control declaration: expected packets per second.
+    pub expected_pps: u64,
+    /// The transformation (head bytes + world access for control
+    /// forwarders that update routes or read monitor state).
+    pub f: PePacketFn,
+}
+
+impl std::fmt::Debug for PeForwarder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeForwarder")
+            .field("name", &self.name)
+            .field("cycles", &self.cycles)
+            .field("tickets", &self.tickets)
+            .finish()
+    }
+}
+
+/// Pentium state.
+#[derive(Debug)]
+pub struct Pentium {
+    /// Cost model.
+    pub costs: PeCosts,
+    /// Per-flow-class inbound queues (the I2O full queue, demultiplexed
+    /// by classification done on the IXP).
+    pub inbound: Vec<std::collections::VecDeque<PeItem>>,
+    /// The proportional-share scheduler over flow classes.
+    pub stride: Stride,
+    /// Installed forwarders.
+    pub forwarders: Vec<PeForwarder>,
+    /// Busy flag: `Some(item)` while processing.
+    pub current: Option<PeItem>,
+    /// Extra delay-loop cycles per packet (spare-cycle probing).
+    pub delay_loop_cycles: u64,
+    /// Busy picoseconds.
+    pub busy_ps: Time,
+    /// Packets completed.
+    pub done: u64,
+}
+
+impl Pentium {
+    /// Creates a Pentium with `classes` flow classes of equal tickets.
+    pub fn new(costs: PeCosts, classes: usize) -> Self {
+        let mut stride = Stride::new();
+        for _ in 0..classes {
+            stride.add_flow(100);
+        }
+        Self {
+            costs,
+            inbound: (0..classes).map(|_| Default::default()).collect(),
+            stride,
+            forwarders: Vec::new(),
+            current: None,
+            delay_loop_cycles: 0,
+            busy_ps: 0,
+            done: 0,
+        }
+    }
+
+    /// True when any inbound queue has work.
+    pub fn has_work(&self) -> bool {
+        self.inbound.iter().any(|q| !q.is_empty())
+    }
+
+    /// Picks the next item per the stride scheduler.
+    pub fn pick(&mut self) -> Option<PeItem> {
+        let inbound = &self.inbound;
+        let flow = self.stride.pick(|i| !inbound[i].is_empty())?;
+        self.inbound[flow].pop_front()
+    }
+
+    /// Cycles to process `item`.
+    pub fn cycles_for(&self, item: &PeItem) -> u64 {
+        let f = self
+            .forwarders
+            .get(item.fwdr as usize)
+            .map(|f| f.cycles)
+            .unwrap_or(0);
+        let body = if item.lazy {
+            0
+        } else {
+            u64::from(item.mps.saturating_sub(1)) * self.costs.per_extra_mp
+        };
+        self.costs.null_base + f + body + self.delay_loop_cycles
+    }
+
+    /// Total inbound occupancy.
+    pub fn backlog(&self) -> usize {
+        self.inbound.iter().map(|q| q.len()).sum()
+    }
+
+    /// Clears accounting.
+    pub fn reset_stats(&mut self) {
+        self.busy_ps = 0;
+        self.done = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(flow: u8) -> PeItem {
+        PeItem {
+            desc: 0,
+            flow,
+            fwdr: u32::MAX,
+            head: [0; 64],
+            len: 60,
+            mps: 1,
+            lazy: true,
+        }
+    }
+
+    #[test]
+    fn null_cost_matches_calibration() {
+        let pe = Pentium::new(PeCosts::default(), 1);
+        assert_eq!(pe.cycles_for(&item(0)), 872);
+    }
+
+    #[test]
+    fn full_body_costs_more() {
+        let pe = Pentium::new(PeCosts::default(), 1);
+        let mut it = item(0);
+        it.mps = 24;
+        it.lazy = false;
+        assert!(pe.cycles_for(&it) > 872);
+    }
+
+    #[test]
+    fn stride_serves_classes_proportionally() {
+        let mut pe = Pentium::new(PeCosts::default(), 2);
+        pe.stride.set_tickets(0, 300);
+        pe.stride.set_tickets(1, 100);
+        for _ in 0..400 {
+            pe.inbound[0].push_back(item(0));
+            pe.inbound[1].push_back(item(1));
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..200 {
+            let it = pe.pick().unwrap();
+            served[usize::from(it.flow)] += 1;
+        }
+        assert!(served[0] > served[1] * 2, "{served:?}");
+    }
+
+    #[test]
+    fn pick_on_empty_returns_none() {
+        let mut pe = Pentium::new(PeCosts::default(), 2);
+        assert!(pe.pick().is_none());
+        assert!(!pe.has_work());
+        assert_eq!(pe.backlog(), 0);
+    }
+}

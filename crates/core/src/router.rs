@@ -1,0 +1,1273 @@
+//! The router: the three-level processor hierarchy behind one event
+//! loop, plus construction, the install interface, and measurement.
+
+use std::collections::HashMap;
+
+use npr_ixp::{IStore, Ixp, IxpEv, PortId, RingId, Sched, TrafficSource};
+use npr_packet::{BufferHandle, EthernetFrame, Ipv4Header, Ipv4Proto, MacAddr, Mp, UdpHeader};
+use npr_route::NextHop;
+use npr_sim::{cycles_to_ps, EventQueue, Time, PENTIUM_HZ, PS_PER_SEC};
+use npr_vrp::VrpBudget;
+
+use crate::classify::{Key, WhereRun};
+use crate::config::{RouterConfig, TrafficTemplate};
+use crate::input::InputLoop;
+use crate::install::{
+    admit_me, admit_pe, admit_sa, flow_entry, AdmitError, Fid, InstallRecord, InstallRequest,
+};
+use crate::output::OutputLoop;
+use crate::pci::{Pci, ROUTING_HEADER_BYTES};
+use crate::pe::{PeAction, PeForwarder, PeItem, Pentium};
+use crate::queues::InputDiscipline;
+use crate::sa::{SaForwarder, SaJob, StrongArm};
+use crate::world::{Escalation, MeForwarder, RouterWorld, RunMode};
+
+/// Milliseconds of simulated time, in picoseconds.
+pub const fn ms(n: u64) -> Time {
+    n * 1_000_000_000
+}
+
+/// Microseconds of simulated time, in picoseconds.
+pub const fn us(n: u64) -> Time {
+    n * 1_000_000
+}
+
+/// Router events.
+pub enum Ev {
+    /// Machine event.
+    Ixp(IxpEv),
+    /// StrongARM looks for work.
+    SaPoll,
+    /// StrongARM finished its current job.
+    SaDone,
+    /// A packet arrived at the Pentium over PCI.
+    PeArrive(PeItem),
+    /// The Pentium looks for work.
+    PeWake,
+    /// The Pentium finished its current packet.
+    PeDone,
+    /// A Pentium write-back crossed the bus.
+    PeWriteback {
+        /// IXP-side descriptor.
+        desc: u32,
+        /// Possibly modified head bytes.
+        head: [u8; 64],
+    },
+}
+
+struct IxpSched<'a>(&'a mut EventQueue<Ev>);
+
+impl Sched for IxpSched<'_> {
+    fn now(&self) -> Time {
+        self.0.now()
+    }
+    fn at(&mut self, t: Time, ev: IxpEv) {
+        self.0.schedule(t, Ev::Ixp(ev));
+    }
+}
+
+/// A measurement report over one window.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Window length in picoseconds.
+    pub window_ps: Time,
+    /// Packets completed by the input process, Mpps.
+    pub input_mpps: f64,
+    /// Packets transmitted (or stage-equivalent), Mpps.
+    pub forward_mpps: f64,
+    /// MPs through the input process, M/s.
+    pub input_mmps: f64,
+    /// MPs through the output process, M/s.
+    pub output_mmps: f64,
+    /// Measured mean register cycles per MP, input loop.
+    pub input_reg_per_mp: f64,
+    /// Measured mean register cycles per MP, output loop.
+    pub output_reg_per_mp: f64,
+    /// StrongARM completions, Kpps.
+    pub sa_kpps: f64,
+    /// Pentium completions, Kpps.
+    pub pe_kpps: f64,
+    /// Spare StrongARM cycles per StrongARM packet.
+    pub sa_spare_cycles: f64,
+    /// Spare Pentium cycles per Pentium packet.
+    pub pe_spare_cycles: f64,
+    /// Output-queue drops in the window.
+    pub queue_drops: u64,
+    /// StrongARM/Pentium staging-queue drops.
+    pub escalation_drops: u64,
+    /// Port receive drops (frames).
+    pub port_drops: u64,
+    /// Buffer-lap losses.
+    pub lap_losses: u64,
+    /// VRP drops.
+    pub vrp_drops: u64,
+    /// Mean mutex wait per acquisition, in MicroEngine cycles
+    /// (Figure 10's contention overhead).
+    pub mutex_wait_cycles: f64,
+    /// DRAM utilization.
+    pub dram_util: f64,
+    /// SRAM utilization.
+    pub sram_util: f64,
+    /// IX-bus DMA utilization.
+    pub dma_util: f64,
+    /// PCI utilization.
+    pub pci_util: f64,
+    /// Mean forwarding latency (arrival to wire), microseconds.
+    pub latency_avg_us: f64,
+    /// Median forwarding latency, microseconds.
+    pub latency_p50_us: f64,
+    /// 99th-percentile forwarding latency, microseconds.
+    pub latency_p99_us: f64,
+    /// Maximum forwarding latency in the window, microseconds.
+    pub latency_max_us: f64,
+}
+
+/// A replaying traffic source for real-port experiments.
+struct RateSource {
+    interval_ps: Time,
+    next_at: Time,
+    frame: Vec<u8>,
+    remaining: u64,
+}
+
+impl TrafficSource for RateSource {
+    fn next_frame(&mut self) -> Option<(Time, Vec<u8>)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let t = self.next_at;
+        self.next_at += self.interval_ps;
+        Some((t, self.frame.clone()))
+    }
+}
+
+/// The assembled router.
+pub struct Router {
+    /// Configuration it was built with.
+    pub cfg: RouterConfig,
+    /// The IXP1200 machine.
+    pub ixp: Ixp<RouterWorld>,
+    /// Shared data-plane state.
+    pub world: RouterWorld,
+    /// StrongARM level.
+    pub sa: StrongArm,
+    /// Pentium level.
+    pub pe: Pentium,
+    /// PCI bus + I2O buffers.
+    pub pci: Pci,
+    /// Logical instruction-store allocator (mirrored on all input
+    /// contexts).
+    pub istore: IStore,
+    /// Total VRP budget for the configured line rate.
+    pub vrp_budget: VrpBudget,
+    events: EventQueue<Ev>,
+    started: bool,
+    installs: HashMap<Fid, InstallRecord>,
+    next_fid: Fid,
+    /// Reserve all StrongARM capacity for bridging (admission policy).
+    pub sa_reserved_for_pe: bool,
+    mutex_ids: Vec<npr_ixp::MutexId>,
+    window_start: Time,
+    sa_window_done0: u64,
+    pe_window_done0: u64,
+}
+
+impl Router {
+    /// Builds a router from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (more than 16 input or
+    /// output contexts in excess of FIFO slots is allowed — slots are
+    /// shared — but zero ports is not).
+    pub fn new(cfg: RouterConfig) -> Self {
+        assert!(cfg.ports_in_use > 0, "need at least one port");
+        let nports = cfg.chip.port_rates_bps.len();
+        let mut world = RouterWorld::new(
+            cfg.mode,
+            nports,
+            cfg.queues_per_port,
+            cfg.queue_cap,
+            cfg.pool_bufs,
+        );
+        world.table = npr_route::RoutingTable::new(cfg.route_cache_slots);
+        world.divert_pe_permille = cfg.divert_pe_permille;
+        world.divert_sa_permille = cfg.divert_sa_permille;
+        world.sa_pe_q = (0..cfg.pe_classes)
+            .map(|_| crate::queues::PacketQueue::new(512))
+            .collect();
+
+        // Routes: 10.p.0.0/16 -> port p.
+        for p in 0..cfg.ports_in_use {
+            world.table.insert(
+                u32::from_be_bytes([10, p as u8, 0, 0]),
+                16,
+                NextHop {
+                    port: p as u8,
+                    mac: MacAddr::for_port(p as u8),
+                },
+            );
+        }
+
+        let mut ixp: Ixp<RouterWorld> = Ixp::new(cfg.chip.clone());
+
+        // Templates for ideal-port mode.
+        if cfg.chip.ideal_ports && cfg.input_ctxs > 0 {
+            for p in 0..cfg.ports_in_use {
+                let dst_net = match cfg.traffic {
+                    TrafficTemplate::AllToOne => 0usize,
+                    _ => (p + 1) % cfg.ports_in_use,
+                };
+                let frame = build_udp_frame(p as u8, dst_net as u8, cfg.frame_len.min(60));
+                let dst = u32::from_be_bytes([10, dst_net as u8, 0, 1]);
+                world.table.lookup_and_fill(dst);
+                let mp = Mp::segment(&frame, p as u8, 0).remove(0);
+                ixp.set_rx_template(p, mp);
+            }
+        }
+        // Output-only synthesis template.
+        if cfg.mode == RunMode::OutputOnly {
+            let frame = build_udp_frame(0, 1, 60);
+            world.out_template = Some(Mp::segment(&frame, 0, 0).remove(0));
+        }
+
+        // Token rings over interleaved context orders.
+        let order = |base: usize, n: usize| -> Vec<usize> {
+            if cfg.interleave_rings {
+                interleave(base, n)
+            } else {
+                (base..base + n).collect()
+            }
+        };
+        let input_ids: Vec<usize> = order(0, cfg.input_ctxs);
+        let out_base = if cfg.input_ctxs > 0 {
+            // Output contexts start on the next whole MicroEngine.
+            cfg.input_ctxs.div_ceil(4) * 4
+        } else {
+            0
+        };
+        let output_ids: Vec<usize> = order(out_base, cfg.output_ctxs);
+        assert!(
+            out_base + cfg.output_ctxs <= npr_ixp::params::NUM_CTX,
+            "context demand exceeds the 24 available"
+        );
+
+        let input_ring: RingId = if !input_ids.is_empty() {
+            ixp.add_ring(input_ids.clone())
+        } else {
+            usize::MAX
+        };
+        let output_ring: RingId = if !output_ids.is_empty() {
+            ixp.add_ring(output_ids.clone())
+        } else {
+            usize::MAX
+        };
+
+        // Queue mutexes (protected discipline).
+        let mut mutex_ids = Vec::new();
+        if cfg.in_discipline == InputDiscipline::ProtectedShared {
+            for qid in 0..world.queue_mutex.len() {
+                let m = ixp.add_mutex();
+                world.queue_mutex[qid] = Some(m);
+                mutex_ids.push(m);
+            }
+        }
+
+        // Input programs: ring position determines the port so that the
+        // contexts servicing one port sit half a rotation apart.
+        for (pos, &ctx) in input_ids.iter().enumerate() {
+            let port: PortId = pos % cfg.ports_in_use;
+            let slot = ctx % npr_ixp::params::IN_FIFO_SLOTS;
+            let prog = InputLoop::new(
+                port,
+                slot,
+                input_ring,
+                pos,
+                cfg.in_discipline,
+                cfg.chip.spinlock_mutexes,
+            );
+            ixp.set_program(ctx, Box::new(prog));
+        }
+        // Output programs.
+        for (j, &ctx) in output_ids.iter().enumerate() {
+            let port: PortId = j % cfg.ports_in_use;
+            let slot = j % npr_ixp::params::OUT_FIFO_SLOTS;
+            let prog = OutputLoop::new(port, slot, output_ring, cfg.out_discipline, cfg.out_batch);
+            ixp.set_program(ctx, Box::new(prog));
+        }
+
+        let mut sa = StrongArm::new(cfg.sa_costs);
+        sa.use_interrupts = cfg.sa_interrupts;
+        sa.delay_loop_cycles = cfg.sa_delay_loop;
+        sa.synth_feed = cfg.sa_synth_feed;
+        let mut pe = Pentium::new(cfg.pe_costs, cfg.pe_classes);
+        pe.delay_loop_cycles = cfg.pe_delay_loop;
+        let pci = Pci::new(cfg.pe_buffers);
+
+        Self {
+            ixp,
+            world,
+            sa,
+            pe,
+            pci,
+            istore: IStore::new(),
+            vrp_budget: VrpBudget::default(),
+            events: EventQueue::new(),
+            started: false,
+            installs: HashMap::new(),
+            next_fid: 1,
+            sa_reserved_for_pe: false,
+            mutex_ids,
+            window_start: 0,
+            sa_window_done0: 0,
+            pe_window_done0: 0,
+            cfg,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.events.now()
+    }
+
+    /// Injects a synthetic VRP padding program directly into
+    /// `protocol_processing` — the paper's Figure 9/10 methodology of
+    /// "adding instructions to the null VRP", which bypasses the
+    /// extensible classifier and admission control. Measurement use
+    /// only; services use [`Router::install`].
+    pub fn set_vrp_pad(&mut self, prog: npr_vrp::VrpProgram) {
+        let state = vec![0u8; usize::from(prog.state_bytes)];
+        self.world.vrp_pad = Some((prog, state));
+    }
+
+    /// Re-arms a port's receive schedule after its source gained new
+    /// frames (fabric use: sources backed by shared queues go dry and
+    /// must be poked when refilled).
+    pub fn poke_port(&mut self, port: PortId) {
+        self.start();
+        let Self { ixp, events, .. } = self;
+        let mut s = IxpSched(events);
+        ixp.reprime_port(port, &mut s);
+    }
+
+    /// Attaches a traffic source to a real port. Safe to call while the
+    /// simulation is running (e.g. to start a second traffic phase).
+    pub fn attach_source(&mut self, port: PortId, src: Box<dyn TrafficSource>) {
+        self.ixp.set_source(port, src);
+        if self.started {
+            let Self { ixp, events, .. } = self;
+            let mut s = IxpSched(events);
+            ixp.reprime_port(port, &mut s);
+        }
+    }
+
+    /// Attaches a constant-rate 64-byte source to `port` at `fraction`
+    /// of line rate (the paper's 141 Kpps = 95% sources).
+    pub fn attach_cbr(&mut self, port: PortId, fraction: f64, frames: u64, dst_net: u8) {
+        let rate = self.cfg.chip.port_rates_bps[port] as f64 * fraction;
+        let frame = build_udp_frame(port as u8, dst_net, 60);
+        let wire_bits = ((60 + self.cfg.chip.wire_overhead_bytes) * 8) as f64;
+        let pps = rate / wire_bits;
+        let interval_ps = (PS_PER_SEC as f64 / pps) as Time;
+        let dst = u32::from_be_bytes([10, dst_net, 0, 1]);
+        self.world.table.lookup_and_fill(dst);
+        self.ixp.set_source(
+            port,
+            Box::new(RateSource {
+                interval_ps,
+                next_at: 0,
+                frame,
+                remaining: frames,
+            }),
+        );
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let Self {
+            ixp, world, events, ..
+        } = self;
+        let mut s = IxpSched(events);
+        ixp.start(world, &mut s);
+        if self.sa.synth_feed.is_some() {
+            self.events.schedule(0, Ev::SaPoll);
+        }
+    }
+
+    /// Runs the simulation until absolute time `t`.
+    pub fn run_until(&mut self, t: Time) {
+        self.start();
+        while let Some(pt) = self.events.peek_time() {
+            if pt > t {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    fn step(&mut self) {
+        let Some((_, ev)) = self.events.pop() else {
+            return;
+        };
+        match ev {
+            Ev::Ixp(e) => {
+                let Self {
+                    ixp, world, events, ..
+                } = self;
+                let mut s = IxpSched(events);
+                ixp.handle(e, world, &mut s);
+            }
+            Ev::SaPoll => self.sa_poll(),
+            Ev::SaDone => self.sa_done(),
+            Ev::PeArrive(item) => {
+                let flow = usize::from(item.flow).min(self.pe.inbound.len() - 1);
+                self.pe.inbound[flow].push_back(item);
+                self.events.schedule_in(0, Ev::PeWake);
+            }
+            Ev::PeWake => self.pe_wake(),
+            Ev::PeDone => self.pe_done(),
+            Ev::PeWriteback { desc, head } => self.pe_writeback(desc, head),
+        }
+        if self.world.sa_signal {
+            self.world.sa_signal = false;
+            self.events.schedule_in(0, Ev::SaPoll);
+        }
+    }
+
+    // --- StrongARM ---
+
+    /// True when the packet's MPs are all in DRAM (the StrongARM must
+    /// not act on a frame whose tail is still arriving on the wire; the
+    /// paper retrieves bodies lazily for the same reason).
+    fn sa_assembled(&self, desc: u32) -> bool {
+        let h = BufferHandle::from_descriptor(desc);
+        let m = self.world.meta_of(h);
+        m.mps_total != 0 && m.mps_written >= m.mps_total
+    }
+
+    /// Defers an incomplete packet: re-queues it and schedules a retry.
+    fn sa_defer(&mut self, q: fn(&mut RouterWorld) -> &mut crate::queues::PacketQueue, desc: u32) {
+        q(&mut self.world).enqueue(desc);
+        // Retry after roughly one MP wire time.
+        self.events.schedule_in(us(6), Ev::SaPoll);
+    }
+
+    fn sa_poll(&mut self) {
+        if self.sa.job.is_some() {
+            return;
+        }
+        let now = self.events.now();
+        // Priority 1: Pentium-bound staging queues.
+        for f in 0..self.world.sa_pe_q.len() {
+            if self.world.sa_pe_q[f].is_empty() {
+                continue;
+            }
+            if !self.pci.claim_buffer() {
+                break; // No Pentium buffers: try local work instead.
+            }
+            let desc = self.world.sa_pe_q[f].dequeue().expect("non-empty");
+            if !self.sa_assembled(desc) {
+                self.pci.release_buffer();
+                self.world.sa_pe_q[f].enqueue(desc);
+                self.events.schedule_in(us(6), Ev::SaPoll);
+                continue;
+            }
+            let esc = self.world.escalations.remove(&desc);
+            let fwdr = match esc {
+                Some(Escalation::Pe { fwdr, .. }) => fwdr,
+                _ => u32::MAX,
+            };
+            let h = BufferHandle::from_descriptor(desc);
+            let mps = self.world.meta_of(h).mps_total.max(1);
+            let cycles = self.sa.bridge_cycles(mps, self.cfg.lazy_body);
+            self.begin_sa_job(
+                SaJob::Bridge {
+                    desc,
+                    flow: f as u8,
+                    fwdr,
+                },
+                cycles,
+                now,
+            );
+            return;
+        }
+        // Priority 2: route-cache misses.
+        if let Some(desc) = self.world.sa_miss_q.dequeue() {
+            if !self.sa_assembled(desc) {
+                self.sa_defer(|w| &mut w.sa_miss_q, desc);
+                return;
+            }
+            self.world.escalations.remove(&desc);
+            let h = BufferHandle::from_descriptor(desc);
+            let dst = self.world.pool.read(h).and_then(parse_dst).unwrap_or(0);
+            let (_, levels) = self.world.table.lookup_slow(dst);
+            let cycles = self.sa.miss_cycles(levels);
+            self.begin_sa_job(SaJob::Miss { desc }, cycles, now);
+            return;
+        }
+        // Priority 3: local forwarders.
+        if let Some(desc) = self.world.sa_local_q.dequeue() {
+            if !self.sa_assembled(desc) {
+                self.sa_defer(|w| &mut w.sa_local_q, desc);
+                return;
+            }
+            let fwdr = match self.world.escalations.remove(&desc) {
+                Some(Escalation::SaLocal { fwdr }) => fwdr,
+                _ => u32::MAX,
+            };
+            let cycles = self.sa.local_cycles(fwdr);
+            // Local processing touches IXP DRAM (shared with the
+            // MicroEngines): charge the controller.
+            self.ixp.dram.access(now, npr_ixp::Rw::Read, 64);
+            self.ixp.dram.access(now, npr_ixp::Rw::Write, 64);
+            self.begin_sa_job(SaJob::Local { desc, fwdr }, cycles, now);
+            return;
+        }
+        // Synthetic feed (Table 4).
+        if let Some((len, lazy)) = self.sa.synth_feed {
+            if self.pci.claim_buffer() {
+                let mps = npr_packet::Mp::count_for_len(len) as u8;
+                let cycles = self.sa.bridge_cycles(mps, lazy);
+                self.begin_sa_job(SaJob::SynthBridge, cycles, now);
+            }
+            // Else: a PeWriteback/PeDone will re-poll us.
+        }
+    }
+
+    fn begin_sa_job(&mut self, job: SaJob, cycles: u64, now: Time) {
+        self.sa.job = Some(job);
+        let dur = cycles_to_ps(cycles);
+        self.sa.busy_ps += dur;
+        self.events.schedule(now + dur, Ev::SaDone);
+    }
+
+    /// Resolves the route for an escalated packet whose classification
+    /// missed the cache (the StrongARM owns the trie). Returns `false`
+    /// when the packet has no route and must be dropped.
+    fn sa_resolve_route(&mut self, h: BufferHandle) -> bool {
+        if !self.world.meta_of(h).needs_route {
+            return true;
+        }
+        let dst = self.world.pool.read(h).and_then(parse_dst);
+        let nh = dst.and_then(|d| self.world.table.lookup_and_fill(d).0);
+        match nh {
+            Some(nh) => {
+                let qid = self.world.queues.qid(usize::from(nh.port), 0) as u16;
+                let meta = self.world.meta_mut(h);
+                meta.out_port = nh.port;
+                meta.qid = qid;
+                meta.needs_route = false;
+                true
+            }
+            None => {
+                self.world.counters.no_route_drops.inc();
+                false
+            }
+        }
+    }
+
+    /// Runs a local forwarder over the packet and enqueues the result.
+    fn sa_finish_local(&mut self, desc: u32, fwdr: u32) {
+        if self.world.traced_descs.contains(&desc) {
+            let now = self.events.now();
+            self.world
+                .tracer
+                .record(now, crate::trace::TraceStep::StrongArm { kind: "local" });
+        }
+        let h = BufferHandle::from_descriptor(desc);
+        let mut ok = true;
+        match self.world.pool.read(h).map(|b| b.to_vec()) {
+            Some(mut bytes) => {
+                if let Some(f) = self.sa.forwarders.get_mut(fwdr as usize) {
+                    let mut meta = *self.world.meta_of(h);
+                    ok = (f.f)(&mut bytes, &mut meta);
+                    // The forwarder may have replaced the packet (ICMP
+                    // generation): refresh size-derived metadata and
+                    // write the bytes back; it may also have re-aimed
+                    // the packet (replies go out the ingress port), so
+                    // rebind the queue.
+                    bytes.truncate(2048);
+                    meta.len = bytes.len() as u16;
+                    let mps = npr_packet::Mp::count_for_len(bytes.len()) as u8;
+                    meta.mps_total = mps;
+                    meta.mps_written = mps;
+                    meta.qid = self.world.queues.qid(usize::from(meta.out_port), 0) as u16;
+                    *self.world.meta_mut(h) = meta;
+                    self.world.pool.write(h, &bytes);
+                }
+            }
+            None => {
+                self.world.counters.lap_losses.inc();
+                ok = false;
+            }
+        }
+        if ok {
+            // Slow-path fragmentation: oversized packets are split per
+            // RFC 791 before transmission, each fragment in its own
+            // buffer (the DF-bit / unfragmentable case was already
+            // answered by the ICMP responder or dropped).
+            if let Some(mtu) = self.world.fragment_mtu {
+                let meta = *self.world.meta_of(h);
+                let needs = usize::from(meta.len).saturating_sub(14) > mtu;
+                if needs {
+                    let frame = self
+                        .world
+                        .pool
+                        .read(h)
+                        .map(|b| b.to_vec())
+                        .unwrap_or_default();
+                    if let Some(frags) = npr_packet::ipv4::fragment(&frame, mtu) {
+                        let now = self.events.now();
+                        let qid = usize::from(meta.qid);
+                        for frag in frags {
+                            let fh = self
+                                .world
+                                .alloc_packet(frag.len() as u16, meta.in_port, now);
+                            self.world.pool.write(fh, &frag);
+                            {
+                                let m = self.world.meta_mut(fh);
+                                m.out_port = meta.out_port;
+                                m.qid = meta.qid;
+                                let mps = npr_packet::Mp::count_for_len(frag.len()) as u8;
+                                m.mps_total = mps;
+                                m.mps_written = mps;
+                            }
+                            self.world.queues.enqueue(qid, fh.to_descriptor());
+                        }
+                        self.world.counters.sa_local_done.inc();
+                        return;
+                    }
+                    // DF set or unfragmentable: drop.
+                    self.world.counters.validation_drops.inc();
+                    return;
+                }
+            }
+            let qid = usize::from(self.world.meta_of(h).qid);
+            self.world.queues.enqueue(qid, desc);
+            self.world.counters.sa_local_done.inc();
+        }
+    }
+
+    fn sa_done(&mut self) {
+        let now = self.events.now();
+        let Some(job) = self.sa.job.take() else {
+            return;
+        };
+        self.sa.done += 1;
+        match job {
+            SaJob::Bridge { desc, flow, fwdr } => {
+                if self.world.traced_descs.contains(&desc) {
+                    self.world
+                        .tracer
+                        .record(now, crate::trace::TraceStep::StrongArm { kind: "bridge" });
+                }
+                let h = BufferHandle::from_descriptor(desc);
+                if !self.sa_resolve_route(h) {
+                    self.pci.release_buffer();
+                    self.events.schedule_in(0, Ev::SaPoll);
+                    return;
+                }
+                let (head, len, mps) = match self.world.pool.read(h) {
+                    Some(b) => {
+                        let mut head = [0u8; 64];
+                        let n = b.len().min(64);
+                        head[..n].copy_from_slice(&b[..n]);
+                        let m = self.world.meta_of(h);
+                        (head, m.len, m.mps_total.max(1))
+                    }
+                    None => {
+                        self.world.counters.lap_losses.inc();
+                        self.pci.release_buffer();
+                        self.events.schedule_in(0, Ev::SaPoll);
+                        return;
+                    }
+                };
+                let bytes = if self.cfg.lazy_body {
+                    64 + ROUTING_HEADER_BYTES
+                } else {
+                    usize::from(len) + ROUTING_HEADER_BYTES
+                };
+                let done_t = self.pci.transfer(now, bytes);
+                self.events.schedule(
+                    done_t,
+                    Ev::PeArrive(PeItem {
+                        desc,
+                        flow,
+                        fwdr,
+                        head,
+                        len,
+                        mps,
+                        lazy: self.cfg.lazy_body,
+                    }),
+                );
+            }
+            SaJob::SynthBridge => {
+                let (len, lazy) = self.sa.synth_feed.expect("synth feed configured");
+                let frame = build_udp_frame(1, 0, len);
+                let h = self.world.alloc_packet(len as u16, 9, now);
+                self.world.pool.write(h, &frame);
+                let qid = self.world.queues.qid(0, 0) as u16;
+                {
+                    let meta = self.world.meta_mut(h);
+                    meta.mps_written = meta.mps_total;
+                    meta.out_port = 0;
+                    meta.qid = qid;
+                }
+                let mut head = [0u8; 64];
+                let n = frame.len().min(64);
+                head[..n].copy_from_slice(&frame[..n]);
+                let bytes = if lazy {
+                    64 + ROUTING_HEADER_BYTES
+                } else {
+                    len + ROUTING_HEADER_BYTES
+                };
+                let done_t = self.pci.transfer(now, bytes);
+                self.events.schedule(
+                    done_t,
+                    Ev::PeArrive(PeItem {
+                        desc: h.to_descriptor(),
+                        flow: 0,
+                        fwdr: u32::MAX,
+                        head,
+                        len: len as u16,
+                        mps: npr_packet::Mp::count_for_len(len) as u8,
+                        lazy,
+                    }),
+                );
+            }
+            SaJob::Local { desc, fwdr } => {
+                let h = BufferHandle::from_descriptor(desc);
+                if !self.sa_resolve_route(h) {
+                    self.events.schedule_in(0, Ev::SaPoll);
+                    return;
+                }
+                self.sa_finish_local(desc, fwdr);
+            }
+            SaJob::Miss { desc } => {
+                let h = BufferHandle::from_descriptor(desc);
+                let dst = self.world.pool.read(h).and_then(parse_dst).unwrap_or(0);
+                let (nh, _) = self.world.table.lookup_and_fill(dst);
+                match nh {
+                    Some(nh) => {
+                        let qid = self.world.queues.qid(usize::from(nh.port), 0);
+                        {
+                            let meta = self.world.meta_mut(h);
+                            meta.out_port = nh.port;
+                            meta.qid = qid as u16;
+                        }
+                        self.world.queues.enqueue(qid, desc);
+                        self.world.counters.sa_local_done.inc();
+                    }
+                    None if self.world.exception_sa_fwdr != u32::MAX => {
+                        // Unroutable packets (including traffic for the
+                        // router itself) go to the exception handler —
+                        // the ICMP responder answers pings and sources
+                        // Destination Unreachable.
+                        let fwdr = self.world.exception_sa_fwdr;
+                        self.sa_finish_local(desc, fwdr);
+                    }
+                    None => {
+                        // No route, no handler: drop.
+                        self.world.counters.no_route_drops.inc();
+                    }
+                }
+            }
+        }
+        self.events.schedule_in(0, Ev::SaPoll);
+    }
+
+    // --- Pentium ---
+
+    fn pe_wake(&mut self) {
+        if self.pe.current.is_some() {
+            return;
+        }
+        let Some(item) = self.pe.pick() else { return };
+        let cycles = self.pe.cycles_for(&item);
+        let dur = cycles * npr_sim::PS_PER_PENTIUM_CYCLE;
+        self.pe.busy_ps += dur;
+        self.pe.current = Some(item);
+        self.events.schedule_in(dur, Ev::PeDone);
+    }
+
+    fn pe_done(&mut self) {
+        let now = self.events.now();
+        let Some(mut item) = self.pe.current.take() else {
+            return;
+        };
+        self.pe.done += 1;
+        self.world.counters.pe_done.inc();
+        let action = match self.pe.forwarders.get_mut(item.fwdr as usize) {
+            Some(f) => (f.f)(&mut item.head, &mut self.world),
+            None => PeAction::Forward,
+        };
+        if self.world.traced_descs.contains(&item.desc) {
+            let label = match action {
+                PeAction::Forward => "forward",
+                PeAction::Drop => "drop",
+                PeAction::Consume => "consume",
+            };
+            self.world
+                .tracer
+                .record(now, crate::trace::TraceStep::Pentium { action: label });
+            if action != PeAction::Forward {
+                self.world.traced_descs.remove(&item.desc);
+            }
+        }
+        match action {
+            PeAction::Forward => {
+                let bytes = if item.lazy {
+                    64 + ROUTING_HEADER_BYTES
+                } else {
+                    usize::from(item.len) + ROUTING_HEADER_BYTES
+                };
+                let done_t = self.pci.transfer(now, bytes);
+                self.events.schedule(
+                    done_t,
+                    Ev::PeWriteback {
+                        desc: item.desc,
+                        head: item.head,
+                    },
+                );
+            }
+            PeAction::Drop | PeAction::Consume => {
+                self.pci.release_buffer();
+                self.events.schedule_in(0, Ev::SaPoll);
+            }
+        }
+        self.events.schedule_in(0, Ev::PeWake);
+    }
+
+    fn pe_writeback(&mut self, desc: u32, head: [u8; 64]) {
+        self.pci.release_buffer();
+        let h = BufferHandle::from_descriptor(desc);
+        if self.world.pool.read(h).is_some() {
+            let meta = *self.world.meta_of(h);
+            let n = usize::from(meta.len).min(64);
+            if n > 0 {
+                self.world.pool.write_at(h, 0, &head[..n]);
+            }
+            self.world.queues.enqueue(usize::from(meta.qid), desc);
+        } else {
+            self.world.counters.lap_losses.inc();
+        }
+        self.events.schedule_in(0, Ev::SaPoll);
+    }
+
+    /// Arms the packet tracer for IPv4 destination `dst` (records up to
+    /// `limit` steps; see [`crate::trace`]).
+    pub fn trace_destination(&mut self, dst: u32, limit: usize) {
+        self.world.tracer = crate::trace::Tracer::arm(dst, limit);
+        self.world.traced_descs.clear();
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &crate::trace::Tracer {
+        &self.world.tracer
+    }
+
+    // --- Install interface (paper, section 4.5) ---
+
+    /// Installs a StrongARM forwarder as the handler for exceptional
+    /// packets (TTL expiry, IP options) that no other forwarder claims.
+    pub fn install_exception_handler(&mut self, req: InstallRequest) -> Result<Fid, AdmitError> {
+        let fid = self.install(Key::All, req, None)?;
+        // The handler must not run on every packet as a general
+        // forwarder — it only serves escalations.
+        self.world.classifier.unbind(fid);
+        let rec = &self.installs[&fid];
+        debug_assert_eq!(
+            rec.where_run,
+            WhereRun::Sa,
+            "exception handlers run on the SA"
+        );
+        self.world.exception_sa_fwdr = rec.fwdr_index;
+        Ok(fid)
+    }
+
+    /// Installs a forwarder for `key` with `state_bytes` of flow state.
+    pub fn install(
+        &mut self,
+        key: Key,
+        req: InstallRequest,
+        out_port: Option<u8>,
+    ) -> Result<Fid, AdmitError> {
+        let fid = self.next_fid;
+        let (where_run, fwdr_index, istore_id, state_bytes) = match req {
+            InstallRequest::Me { prog } => {
+                let cost = admit_me(
+                    &self.world,
+                    &prog,
+                    &key,
+                    &self.vrp_budget,
+                    self.istore.free_slots(),
+                )?;
+                let id = self
+                    .istore
+                    .install(prog.istore_slots())
+                    .map_err(AdmitError::IStore)?;
+                let state_bytes = usize::from(prog.state_bytes);
+                self.world.me_forwarders.push(MeForwarder { prog, cost });
+                (
+                    WhereRun::Me,
+                    (self.world.me_forwarders.len() - 1) as u32,
+                    Some(id),
+                    state_bytes,
+                )
+            }
+            InstallRequest::Sa { name, cycles, f } => {
+                admit_sa(self.sa_reserved_for_pe)?;
+                self.sa.forwarders.push(SaForwarder { name, cycles, f });
+                (
+                    WhereRun::Sa,
+                    (self.sa.forwarders.len() - 1) as u32,
+                    None,
+                    64,
+                )
+            }
+            InstallRequest::Pe {
+                name,
+                cycles,
+                tickets,
+                expected_pps,
+                f,
+            } => {
+                admit_pe(&self.pe.forwarders, cycles, expected_pps)?;
+                self.pe.forwarders.push(PeForwarder {
+                    name,
+                    cycles,
+                    tickets,
+                    expected_pps,
+                    f,
+                });
+                (
+                    WhereRun::Pe,
+                    (self.pe.forwarders.len() - 1) as u32,
+                    None,
+                    64,
+                )
+            }
+        };
+        // Allocate and zero the flow state ("allocates size bytes of
+        // SRAM memory to hold the flow state, and initializes it to
+        // zero").
+        self.world.flow_state.push(vec![0u8; state_bytes]);
+        let state_idx = (self.world.flow_state.len() - 1) as u32;
+        let entry = flow_entry(fid, where_run, fwdr_index, state_idx, out_port);
+        match key {
+            Key::All => self.world.classifier.bind_general(entry),
+            Key::Flow(k) => self.world.classifier.bind_flow(k, entry),
+        }
+        self.installs.insert(
+            fid,
+            InstallRecord {
+                key,
+                where_run,
+                fwdr_index,
+                state_idx,
+                istore_id,
+            },
+        );
+        self.next_fid += 1;
+        Ok(fid)
+    }
+
+    /// Removes an installed forwarder.
+    pub fn remove(&mut self, fid: Fid) -> Result<(), AdmitError> {
+        let rec = self.installs.remove(&fid).ok_or(AdmitError::NoSuchFid)?;
+        self.world.classifier.unbind(fid);
+        if let Some(id) = rec.istore_id {
+            let _ = self.istore.remove(id);
+        }
+        Ok(())
+    }
+
+    /// Lists installed forwarders: `(fid, name, where, istore slots)` —
+    /// the operator's view of the extension plane.
+    pub fn installed(&self) -> Vec<(Fid, String, WhereRun, usize)> {
+        let mut out: Vec<_> = self
+            .installs
+            .iter()
+            .map(|(&fid, rec)| {
+                let (name, slots) = match rec.where_run {
+                    WhereRun::Me => {
+                        let f = &self.world.me_forwarders[rec.fwdr_index as usize];
+                        (f.prog.name.clone(), f.prog.istore_slots())
+                    }
+                    WhereRun::Sa => (self.sa.forwarders[rec.fwdr_index as usize].name.clone(), 0),
+                    WhereRun::Pe => (self.pe.forwarders[rec.fwdr_index as usize].name.clone(), 0),
+                };
+                (fid, name, rec.where_run, slots)
+            })
+            .collect();
+        out.sort_by_key(|&(fid, ..)| fid);
+        out
+    }
+
+    /// Reads a forwarder's flow state (control/data communication).
+    pub fn getdata(&self, fid: Fid) -> Result<Vec<u8>, AdmitError> {
+        let rec = self.installs.get(&fid).ok_or(AdmitError::NoSuchFid)?;
+        Ok(self.world.flow_state[rec.state_idx as usize].clone())
+    }
+
+    /// Writes a forwarder's flow state.
+    pub fn setdata(&mut self, fid: Fid, data: &[u8]) -> Result<(), AdmitError> {
+        let rec = self.installs.get(&fid).ok_or(AdmitError::NoSuchFid)?;
+        let state = &mut self.world.flow_state[rec.state_idx as usize];
+        let n = data.len().min(state.len());
+        state[..n].copy_from_slice(&data[..n]);
+        Ok(())
+    }
+
+    // --- Measurement ---
+
+    /// Marks the start of a measurement window.
+    pub fn mark(&mut self) {
+        let now = self.events.now();
+        self.window_start = now;
+        self.world.mark_counters(now);
+        self.ixp.reset_stats();
+        self.pci.reset_stats();
+        self.sa_window_done0 = self.sa.done;
+        self.pe_window_done0 = self.pe.done;
+        self.sa.busy_ps = 0;
+        self.pe.busy_ps = 0;
+    }
+
+    /// Runs `warmup`, marks, runs `window`, and reports.
+    pub fn measure(&mut self, warmup: Time, window: Time) -> Report {
+        self.run_until(warmup);
+        self.mark();
+        let t0 = self.events.now().max(warmup);
+        self.run_until(t0 + window);
+        self.report()
+    }
+
+    /// Builds a report over the current window.
+    pub fn report(&self) -> Report {
+        let now = self.events.now();
+        let w = now.saturating_sub(self.window_start).max(1);
+        let secs = w as f64 / PS_PER_SEC as f64;
+        let c = &self.world.counters;
+        let input_pkts = c.input_pkts.since_mark() as f64;
+        let tx: u64 = self.ixp.hw.ports.iter().map(|p| p.tx_frames).sum();
+        let port_drops: u64 = self.ixp.hw.ports.iter().map(|p| p.rx_frames_dropped).sum();
+        let forward = match self.cfg.mode {
+            RunMode::InputOnly => input_pkts,
+            _ => tx as f64,
+        };
+        let (mutex_wait, mutex_acq) = self
+            .mutex_ids
+            .iter()
+            .map(|&m| self.ixp.mutex_stats(m))
+            .fold((0u64, 0u64), |(a, b), (x, y)| (a + x, b + y));
+        let sa_done = (self.sa.done - self.sa_window_done0) as f64;
+        let pe_done = (self.pe.done - self.pe_window_done0) as f64;
+        let sa_spare = if sa_done > 0.0 {
+            (w.saturating_sub(self.sa.busy_ps) as f64 / 1e12) * 200e6 / sa_done
+        } else {
+            0.0
+        };
+        let pe_spare = if pe_done > 0.0 {
+            (w.saturating_sub(self.pe.busy_ps) as f64 / 1e12) * PENTIUM_HZ as f64 / pe_done
+        } else {
+            0.0
+        };
+        let in_mps = c.input_mps.since_mark() as f64;
+        let out_mps = c.output_mps.since_mark() as f64;
+        Report {
+            window_ps: w,
+            input_mpps: input_pkts / secs / 1e6,
+            forward_mpps: forward / secs / 1e6,
+            input_mmps: in_mps / secs / 1e6,
+            output_mmps: out_mps / secs / 1e6,
+            input_reg_per_mp: if in_mps > 0.0 {
+                c.input_reg_cycles.since_mark() as f64 / in_mps
+            } else {
+                0.0
+            },
+            output_reg_per_mp: if out_mps > 0.0 {
+                c.output_reg_cycles.since_mark() as f64 / out_mps
+            } else {
+                0.0
+            },
+            sa_kpps: sa_done / secs / 1e3,
+            pe_kpps: pe_done / secs / 1e3,
+            sa_spare_cycles: sa_spare,
+            pe_spare_cycles: pe_spare,
+            queue_drops: self.world.queues.total_drops(),
+            escalation_drops: self.world.sa_local_q.drops()
+                + self.world.sa_miss_q.drops()
+                + self.world.sa_pe_q.iter().map(|q| q.drops()).sum::<u64>(),
+            port_drops,
+            lap_losses: c.lap_losses.since_mark(),
+            vrp_drops: c.vrp_drops.since_mark(),
+            mutex_wait_cycles: if mutex_acq > 0 {
+                mutex_wait as f64 / mutex_acq as f64 / cycles_to_ps(1) as f64
+            } else {
+                0.0
+            },
+            latency_avg_us: {
+                let n = c.latency_samples.since_mark();
+                if n == 0 {
+                    0.0
+                } else {
+                    c.latency_sum_ps.since_mark() as f64 / n as f64 / 1e6
+                }
+            },
+            latency_p50_us: c.latency_hist.percentile(50.0) as f64 / 1e6,
+            latency_p99_us: c.latency_hist.percentile(99.0) as f64 / 1e6,
+            latency_max_us: c.latency_max_ps as f64 / 1e6,
+            dram_util: self.ixp.dram.busy_ps() as f64 / w as f64,
+            sram_util: self.ixp.sram.busy_ps() as f64 / w as f64,
+            dma_util: self.ixp.dma.busy_ps() as f64 / w as f64,
+            pci_util: self.pci.utilization(w),
+        }
+    }
+}
+
+/// Interleaves `n` context ids starting at `base` so that consecutive
+/// ring members sit on different MicroEngines (paper, section 3.2.2).
+fn interleave(base: usize, n: usize) -> Vec<usize> {
+    let ids: Vec<usize> = (base..base + n).collect();
+    let mut out: Vec<usize> = Vec::with_capacity(n);
+    for lane in 0..4 {
+        for &id in &ids {
+            if (id - base) % 4 == lane {
+                out.push(id);
+            }
+        }
+    }
+    // With fewer than 5 contexts the lanes collapse to the identity.
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Builds a valid minimal UDP-in-IPv4-in-Ethernet frame from source
+/// network `src_net` to `10.dst_net.0.1`.
+pub fn build_udp_frame(src_net: u8, dst_net: u8, len: usize) -> Vec<u8> {
+    let len = len.max(60);
+    let mut f = vec![0u8; len];
+    EthernetFrame::write_header(
+        &mut f,
+        MacAddr::for_port(dst_net),
+        MacAddr([0x02, 1, 1, 1, 1, src_net]),
+        npr_packet::EtherType::Ipv4,
+    );
+    let ip = Ipv4Header {
+        header_len: 20,
+        dscp_ecn: 0,
+        total_len: (len - 14) as u16,
+        ident: 0x1234,
+        flags_frag: 0x4000,
+        ttl: 64,
+        proto: Ipv4Proto::Udp,
+        checksum: 0,
+        src: u32::from_be_bytes([10, src_net, 0, 2]),
+        dst: u32::from_be_bytes([10, dst_net, 0, 1]),
+    };
+    ip.write(&mut f[14..]);
+    UdpHeader {
+        src_port: 5000,
+        dst_port: 5001,
+        length: (len - 34) as u16,
+        checksum: 0,
+    }
+    .write(&mut f[34..]);
+    f
+}
+
+/// Parses the IPv4 destination address out of an Ethernet frame.
+fn parse_dst(frame: &[u8]) -> Option<u32> {
+    let eth = EthernetFrame::parse(frame).ok()?;
+    let ip = Ipv4Header::parse(eth.payload()).ok()?;
+    Some(ip.dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RouterConfig;
+
+    #[test]
+    fn build_udp_frame_is_fully_valid() {
+        let f = build_udp_frame(2, 5, 60);
+        let eth = EthernetFrame::parse(&f).unwrap();
+        assert_eq!(eth.ethertype(), npr_packet::EtherType::Ipv4);
+        let ip = Ipv4Header::parse(eth.payload()).unwrap();
+        assert_eq!(ip.dst, u32::from_be_bytes([10, 5, 0, 1]));
+        assert_eq!(ip.proto, Ipv4Proto::Udp);
+        assert_eq!(parse_dst(&f), Some(ip.dst));
+    }
+
+    #[test]
+    fn interleave_alternates_microengines() {
+        let order = interleave(0, 16);
+        // Consecutive members must sit on different MEs.
+        for w in order.windows(2) {
+            assert_ne!(w[0] / 4, w[1] / 4, "{order:?}");
+        }
+        // And it is a permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleave_handles_partial_engines() {
+        for n in [1usize, 3, 5, 7, 11] {
+            let order = interleave(4, n);
+            assert_eq!(order.len(), n);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (4..4 + n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn measure_windows_are_independent() {
+        let mut r = Router::new(RouterConfig::table1_system());
+        let first = r.measure(us(200), us(400));
+        // A second measurement on the warmed system reports a fresh
+        // window, not cumulative counts.
+        let t0 = r.now();
+        r.mark();
+        r.run_until(t0 + us(400));
+        let second = r.report();
+        assert!(first.forward_mpps > 0.0);
+        assert!(second.forward_mpps > 0.0);
+        // Windows are comparable (steady state), not additive.
+        let ratio = second.forward_mpps / first.forward_mpps;
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn report_utilizations_are_fractions() {
+        let mut r = Router::new(RouterConfig::table1_system());
+        let rep = r.measure(us(200), us(400));
+        for u in [rep.dram_util, rep.sram_util, rep.dma_util, rep.pci_util] {
+            assert!((0.0..=1.05).contains(&u), "utilization {u}");
+        }
+        assert!(rep.window_ps >= us(395), "window {}", rep.window_ps);
+    }
+
+    #[test]
+    fn ms_and_us_are_picoseconds() {
+        assert_eq!(ms(1), 1_000_000_000);
+        assert_eq!(us(1), 1_000_000);
+        assert_eq!(ms(1), us(1000));
+    }
+
+    #[test]
+    fn run_until_is_idempotent_at_the_same_time() {
+        let mut r = Router::new(RouterConfig::table1_system());
+        r.run_until(us(100));
+        let pkts = r.world.counters.input_pkts.total();
+        r.run_until(us(100));
+        assert_eq!(r.world.counters.input_pkts.total(), pkts);
+    }
+}

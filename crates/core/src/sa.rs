@@ -1,0 +1,190 @@
+//! The StrongARM level (paper, sections 3.6 / 4.1).
+//!
+//! The StrongARM runs a minimal OS that (1) acts as a bridge forwarding
+//! packets to the Pentium, and (2) supports a small collection of local
+//! forwarders — including the route-cache miss handler that runs the
+//! full prefix match. Pentium-bound packets have priority over local
+//! work ("we currently implement a simple priority scheme that gives
+//! packets being passed up to the Pentium precedence over packets that
+//! are to be processed locally").
+
+use npr_sim::Time;
+
+use crate::costs::SaCosts;
+use crate::world::PktMeta;
+
+/// Signature of a StrongARM-local packet transformation: owned bytes
+/// (resizable) + metadata; `false` drops the packet.
+pub type SaPacketFn = Box<dyn FnMut(&mut Vec<u8>, &mut PktMeta) -> bool>;
+
+/// A StrongARM-local forwarder: a jump-table entry. The forwarder owns
+/// the packet bytes for the duration of the call and may grow or shrink
+/// them (ICMP replies replace the offending packet wholesale).
+pub struct SaForwarder {
+    /// Name for reports.
+    pub name: String,
+    /// Cycles at 200 MHz this forwarder costs per packet.
+    pub cycles: u64,
+    /// The packet transformation. Returns `false` to drop.
+    pub f: SaPacketFn,
+}
+
+impl std::fmt::Debug for SaForwarder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SaForwarder")
+            .field("name", &self.name)
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+/// The job the StrongARM is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaJob {
+    /// Bridging a packet toward the Pentium.
+    Bridge {
+        /// Queue descriptor.
+        desc: u32,
+        /// Pentium flow class.
+        flow: u8,
+        /// Pentium forwarder index (`u32::MAX` = null).
+        fwdr: u32,
+    },
+    /// Running a local forwarder.
+    Local {
+        /// Queue descriptor.
+        desc: u32,
+        /// Local jump-table index (`u32::MAX` = null).
+        fwdr: u32,
+    },
+    /// Resolving a route-cache miss via the trie.
+    Miss {
+        /// Queue descriptor.
+        desc: u32,
+    },
+    /// Synthetic feed for the Table 4 experiment: the StrongARM
+    /// manufactures a packet of the configured size and bridges it.
+    SynthBridge,
+}
+
+/// StrongARM state.
+#[derive(Debug)]
+pub struct StrongArm {
+    /// Cost model.
+    pub costs: SaCosts,
+    /// Currently executing job (None = idle).
+    pub job: Option<SaJob>,
+    /// Extra per-packet delay-loop cycles (spare-cycle probing).
+    pub delay_loop_cycles: u64,
+    /// Use interrupts instead of polling (slower; section 3.6).
+    pub use_interrupts: bool,
+    /// Local forwarder jump table.
+    pub forwarders: Vec<SaForwarder>,
+    /// Synthetic feed: `(frame_len, lazy_body)`; `None` = disabled.
+    pub synth_feed: Option<(usize, bool)>,
+    /// Busy picoseconds (for spare-cycle accounting).
+    pub busy_ps: Time,
+    /// Packets completed (any job kind).
+    pub done: u64,
+}
+
+impl StrongArm {
+    /// Creates an idle StrongARM.
+    pub fn new(costs: SaCosts) -> Self {
+        Self {
+            costs,
+            job: None,
+            delay_loop_cycles: 0,
+            use_interrupts: false,
+            forwarders: Vec::new(),
+            synth_feed: None,
+            busy_ps: 0,
+            done: 0,
+        }
+    }
+
+    /// Cycles to bridge a packet of `mps` MPs toward the Pentium.
+    pub fn bridge_cycles(&self, mps: u8, lazy: bool) -> u64 {
+        let extra = if lazy {
+            0
+        } else {
+            u64::from(mps.saturating_sub(1))
+        };
+        let base = self.costs.bridge_base + extra * self.costs.bridge_per_extra_mp;
+        let intr = if self.use_interrupts {
+            self.costs.interrupt_overhead
+        } else {
+            0
+        };
+        base + intr + self.delay_loop_cycles
+    }
+
+    /// Cycles for a local job running jump-table entry `fwdr`.
+    pub fn local_cycles(&self, fwdr: u32) -> u64 {
+        let f = self
+            .forwarders
+            .get(fwdr as usize)
+            .map(|f| f.cycles)
+            .unwrap_or(0);
+        let intr = if self.use_interrupts {
+            self.costs.interrupt_overhead
+        } else {
+            0
+        };
+        self.costs.local_base + f + intr + self.delay_loop_cycles
+    }
+
+    /// Cycles for a route-miss job touching `levels` trie levels.
+    pub fn miss_cycles(&self, levels: u32) -> u64 {
+        self.costs.local_base + u64::from(levels) * self.costs.lookup_per_level
+    }
+
+    /// Clears accounting for a measurement window.
+    pub fn reset_stats(&mut self) {
+        self.busy_ps = 0;
+        self.done = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridge_cycles_match_table4_calibration() {
+        let sa = StrongArm::new(SaCosts::default());
+        assert_eq!(sa.bridge_cycles(1, true), 374);
+        // 1500 B = 24 MPs, full copy.
+        let c = sa.bridge_cycles(24, false);
+        assert!((4100..=4300).contains(&c), "{c}");
+        // Lazy body: only the head crosses, cost stays flat.
+        assert_eq!(sa.bridge_cycles(24, true), 374);
+    }
+
+    #[test]
+    fn interrupts_cost_more() {
+        let mut sa = StrongArm::new(SaCosts::default());
+        let polling = sa.local_cycles(u32::MAX);
+        sa.use_interrupts = true;
+        assert!(sa.local_cycles(u32::MAX) > polling);
+    }
+
+    #[test]
+    fn delay_loop_adds_cycles() {
+        let mut sa = StrongArm::new(SaCosts::default());
+        sa.delay_loop_cycles = 100;
+        assert_eq!(sa.local_cycles(u32::MAX), 380 + 100);
+        assert_eq!(sa.bridge_cycles(1, true), 374 + 100);
+    }
+
+    #[test]
+    fn forwarder_cycles_included() {
+        let mut sa = StrongArm::new(SaCosts::default());
+        sa.forwarders.push(SaForwarder {
+            name: "full-ip".into(),
+            cycles: 660,
+            f: Box::new(|_, _| true),
+        });
+        assert_eq!(sa.local_cycles(0), 380 + 660);
+    }
+}

@@ -1,0 +1,125 @@
+//! Packet tracing: records one destination's journey through the
+//! processor hierarchy — classification verdict, queue placement,
+//! escalations, slow-path service, transmission.
+//!
+//! This is the operational counterpart of the paper's performance-
+//! monitoring example: where the Monitor forwarders count, the tracer
+//! explains. It costs nothing unless armed.
+
+use npr_sim::Time;
+
+/// One recorded step of a packet's life.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Classified at the MicroEngine level.
+    Classified {
+        /// Arrival port.
+        in_port: u8,
+        /// Chosen output queue (when forwarding).
+        qid: Option<u16>,
+        /// Human-readable verdict.
+        verdict: &'static str,
+    },
+    /// Enqueued toward an output port.
+    Enqueued {
+        /// Queue id.
+        qid: u16,
+    },
+    /// Handed to the StrongARM.
+    StrongArm {
+        /// Job kind.
+        kind: &'static str,
+    },
+    /// Completed by the Pentium.
+    Pentium {
+        /// Action taken.
+        action: &'static str,
+    },
+    /// Transmitted on a port.
+    Transmitted {
+        /// Output port.
+        port: u8,
+    },
+    /// Dropped, with the reason.
+    Dropped {
+        /// Why.
+        reason: &'static str,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When (picoseconds).
+    pub at: Time,
+    /// What.
+    pub step: TraceStep,
+}
+
+/// The armed tracer: matches packets by IPv4 destination.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    /// Destination address being traced (`None` = disarmed).
+    pub dst: Option<u32>,
+    /// Recorded events.
+    pub events: Vec<TraceEvent>,
+    /// Stop recording past this many events (bounds memory).
+    pub limit: usize,
+}
+
+impl Tracer {
+    /// Arms the tracer for `dst` with an event budget.
+    pub fn arm(dst: u32, limit: usize) -> Self {
+        Self {
+            dst: Some(dst),
+            events: Vec::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    /// Records a step at `at` if armed and under budget.
+    pub fn record(&mut self, at: Time, step: TraceStep) {
+        if self.dst.is_some() && self.events.len() < self.limit {
+            self.events.push(TraceEvent { at, step });
+        }
+    }
+
+    /// True when `dst` matches the armed address.
+    pub fn matches(&self, dst: u32) -> bool {
+        self.dst == Some(dst)
+    }
+
+    /// Renders the trace as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("{:>12} ps  {:?}\n", e.at, e.step));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_tracer_records_nothing() {
+        let mut t = Tracer::default();
+        t.record(5, TraceStep::Dropped { reason: "x" });
+        assert!(t.events.is_empty());
+        assert!(!t.matches(1));
+    }
+
+    #[test]
+    fn armed_tracer_records_up_to_limit() {
+        let mut t = Tracer::arm(42, 2);
+        assert!(t.matches(42));
+        assert!(!t.matches(43));
+        for i in 0..5 {
+            t.record(i, TraceStep::Enqueued { qid: 1 });
+        }
+        assert_eq!(t.events.len(), 2);
+        assert!(t.render().contains("Enqueued"));
+    }
+}

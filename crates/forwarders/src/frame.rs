@@ -1,0 +1,51 @@
+//! Byte offsets within the first MP of an Ethernet/IPv4/TCP frame
+//! (no VLAN tag, no IP options — the fast-path layout; packets with
+//! options are exceptional and go to the StrongARM before any VRP
+//! forwarder sees them).
+
+/// Ethernet destination MAC.
+pub const ETH_DST: u8 = 0;
+/// Ethernet source MAC.
+pub const ETH_SRC: u8 = 6;
+/// EtherType.
+pub const ETH_TYPE: u8 = 12;
+/// IP version/IHL byte.
+pub const IP_VIHL: u8 = 14;
+/// IP total length.
+pub const IP_TOTAL_LEN: u8 = 16;
+/// IP TTL.
+pub const IP_TTL: u8 = 22;
+/// IP protocol.
+pub const IP_PROTO: u8 = 23;
+/// IP header checksum.
+pub const IP_CSUM: u8 = 24;
+/// IP source address.
+pub const IP_SRC: u8 = 26;
+/// IP destination address.
+pub const IP_DST: u8 = 30;
+/// TCP/UDP source port.
+pub const L4_SPORT: u8 = 34;
+/// TCP/UDP destination port.
+pub const L4_DPORT: u8 = 36;
+/// TCP sequence number.
+pub const TCP_SEQ: u8 = 38;
+/// TCP acknowledgment number.
+pub const TCP_ACK: u8 = 42;
+/// TCP flags byte.
+pub const TCP_FLAGS: u8 = 47;
+/// TCP checksum.
+pub const TCP_CSUM: u8 = 50;
+/// UDP length field.
+pub const UDP_LEN: u8 = 38;
+/// First UDP payload byte (the wavelet layer tag in the video workload).
+pub const UDP_PAYLOAD: u8 = 42;
+
+/// IP protocol numbers.
+pub const PROTO_TCP: u32 = 6;
+/// UDP.
+pub const PROTO_UDP: u32 = 17;
+
+/// TCP flag bits.
+pub const FLAG_SYN: u32 = 0x02;
+/// ACK bit.
+pub const FLAG_ACK: u32 = 0x10;

@@ -1,0 +1,52 @@
+//! `npr-forwarders`: the paper's example router extensions.
+//!
+//! Section 4.4 / Table 5 of the paper evaluates six data forwarders that
+//! run on the MicroEngines inside the VRP budget:
+//!
+//! | forwarder        | SRAM r/w (bytes) | register ops |
+//! |------------------|------------------|--------------|
+//! | TCP Splicer      | 24               | 45           |
+//! | Wavelet Dropper  | 8                | 28           |
+//! | ACK Monitor      | 12               | 15           |
+//! | SYN Monitor      | 4                | 5            |
+//! | Port Filter      | 20               | 26           |
+//! | `IP--`           | 24               | 32           |
+//!
+//! Each is implemented here as *real* VRP bytecode that transforms real
+//! packet bytes (see the unit tests), with static metrics close to the
+//! paper's (the exact instruction mix of the original microcode is not
+//! published; [`table5()`] reports ours next to the paper's numbers).
+//!
+//! The crate also provides the control-plane halves that run on the
+//! Pentium (section 4.4: monitors aggregate, the wavelet controller
+//! adapts the cutoff, the splicer installs per-flow deltas), the
+//! StrongARM/Pentium "slow" forwarders (full IP with options at >=660
+//! cycles, TCP proxy at >=800), and the synthetic VRP padding blocks
+//! used by the Figure 9/10 budget sweeps.
+
+pub mod frame;
+pub mod mpls;
+pub mod pads;
+pub mod slow;
+pub mod table5;
+
+pub use mpls::{encode_entry, mpls_swap};
+pub use pads::{pad_program, PadKind};
+pub use table5::{
+    ack_monitor, dscp_tagger, ip_minimal, port_filter, syn_monitor, table5, tcp_splicer,
+    wavelet_dropper, Table5Row,
+};
+
+#[cfg(test)]
+mod tests {
+    use npr_vrp::{verify, VrpBudget};
+
+    #[test]
+    fn every_table5_forwarder_fits_the_default_budget() {
+        for row in crate::table5() {
+            let cost = verify(&row.prog, &VrpBudget::default())
+                .unwrap_or_else(|e| panic!("{} rejected: {e}", row.name));
+            assert!(cost.worst_cycles <= 240);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Synthetic VRP code blocks for the Figure 9/10 budget sweeps.
+//!
+//! "Blocks are either sets of 10 register-based instructions, a single
+//! 4-byte SRAM access, or a combination block with both 10 register
+//! instructions and the 4-byte SRAM operation." (paper, section 4.2)
+
+use npr_vrp::{Asm, Src, VrpProgram};
+
+/// The three block shapes of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PadKind {
+    /// Ten register instructions.
+    Reg10,
+    /// One 4-byte SRAM read.
+    SramRead,
+    /// Both.
+    Combo,
+}
+
+/// Builds a program of `blocks` pad blocks followed by `Done`. SRAM
+/// reads rotate over a small state window so they model real flow-state
+/// access patterns.
+pub fn pad_program(kind: PadKind, blocks: u32) -> VrpProgram {
+    let mut a = Asm::new("vrp-pad");
+    let state_words = 8u8;
+    for b in 0..blocks {
+        match kind {
+            PadKind::Reg10 => emit_reg10(&mut a, b),
+            PadKind::SramRead => {
+                a.sram_rd(1, (b as u8 % state_words) * 4);
+            }
+            PadKind::Combo => {
+                a.sram_rd(1, (b as u8 % state_words) * 4);
+                emit_reg10(&mut a, b);
+            }
+        }
+    }
+    a.done();
+    a.finish(usize::from(state_words) * 4)
+        .expect("pad programs are structurally valid")
+}
+
+/// Ten dependent ALU operations (a realistic mix that the verifier
+/// cannot collapse).
+fn emit_reg10(a: &mut Asm, seed: u32) {
+    a.imm(0, seed);
+    a.add(2, 0, Src::Imm(0x9e37));
+    a.xor(2, 2, Src::Reg(1));
+    a.shl(3, 2, Src::Imm(3));
+    a.add(2, 2, Src::Reg(3));
+    a.shr(3, 2, Src::Imm(7));
+    a.xor(2, 2, Src::Reg(3));
+    a.and(3, 2, Src::Imm(0xffff));
+    a.or(2, 2, Src::Reg(3));
+    a.add(1, 1, Src::Reg(2));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npr_vrp::analyze;
+
+    #[test]
+    fn block_costs_match_definitions() {
+        let c = analyze(&pad_program(PadKind::Reg10, 4)).unwrap();
+        assert_eq!(c.worst_cycles, 4 * 10 + 1); // + Done.
+        assert_eq!(c.sram_reads, 0);
+        let c = analyze(&pad_program(PadKind::SramRead, 4)).unwrap();
+        assert_eq!(c.sram_reads, 4);
+        assert_eq!(c.worst_cycles, 4 + 1);
+        let c = analyze(&pad_program(PadKind::Combo, 4)).unwrap();
+        assert_eq!(c.worst_cycles, 4 * 11 + 1);
+        assert_eq!(c.sram_reads, 4);
+    }
+
+    #[test]
+    fn zero_blocks_is_a_null_forwarder() {
+        let c = analyze(&pad_program(PadKind::Combo, 0)).unwrap();
+        assert_eq!(c.worst_cycles, 1);
+    }
+
+    #[test]
+    fn pads_execute_on_real_packets() {
+        let p = pad_program(PadKind::Combo, 32);
+        let mut state = [0u8; 32];
+        let r = npr_vrp::run(&p, &mut [0u8; 64], &mut state).unwrap();
+        assert_eq!(r.cycles, 32 * 11 + 1);
+        assert_eq!(r.sram_reads, 32);
+    }
+}

@@ -1,0 +1,215 @@
+//! MicroEngine instruction-store accounting.
+//!
+//! Each MicroEngine has a 4 KB control store. The router infrastructure
+//! and the classifier occupy a fixed prefix/suffix (Figure 11 of the
+//! paper); "there are 650 instruction slots in the ISTORE that must be
+//! allocated to the competing extensions" (section 4.3). Installing a
+//! forwarder writes the store at two memory accesses per instruction —
+//! "adding a 10-instruction forwarder to the ISTORE takes 800 cycles,
+//! while re-writing the entire ISTORE takes over 80,000 cycles"
+//! (section 4.5) — during which the MicroEngine is disabled.
+
+/// Total instruction slots modeled per MicroEngine control store.
+pub const ISTORE_TOTAL_SLOTS: usize = 1024;
+
+/// Slots consumed by the fixed router infrastructure (input/output loop
+/// skeleton, Figure 11's shaded regions).
+pub const RI_SLOTS: usize = 318;
+
+/// Slots consumed by the classification code ("this classification
+/// process requires 56 instructions", section 4.5).
+pub const CLASSIFIER_SLOTS: usize = 56;
+
+/// Slots available to extensions: 1024 - 318 - 56 = 650 (section 4.3).
+pub const EXTENSION_SLOTS: usize = ISTORE_TOTAL_SLOTS - RI_SLOTS - CLASSIFIER_SLOTS;
+
+/// Extension slots on the next chip revision: "The next version of the
+/// chip will support 1024 additional instructions giving the VRP room
+/// for 1674 instructions" (section 4.3).
+pub const NEXT_GEN_EXTENSION_SLOTS: usize = EXTENSION_SLOTS + 1024;
+
+/// Cycles to write one instruction slot (two memory accesses).
+pub const CYCLES_PER_SLOT_WRITE: u64 = 80;
+
+/// Errors from instruction-store management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IStoreError {
+    /// Not enough free extension slots.
+    Full {
+        /// Slots requested.
+        requested: usize,
+        /// Slots available.
+        available: usize,
+    },
+    /// Unknown installation id.
+    NotFound,
+}
+
+impl core::fmt::Display for IStoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IStoreError::Full {
+                requested,
+                available,
+            } => write!(f, "ISTORE full: need {requested}, have {available}"),
+            IStoreError::NotFound => write!(f, "no such ISTORE installation"),
+        }
+    }
+}
+
+impl std::error::Error for IStoreError {}
+
+/// One MicroEngine's control store from the extension allocator's view.
+///
+/// # Examples
+///
+/// ```
+/// use npr_ixp::IStore;
+///
+/// let mut st = IStore::new();
+/// assert_eq!(st.free_slots(), 650);
+/// let id = st.install(32).unwrap(); // e.g. the IP-- forwarder
+/// assert_eq!(st.free_slots(), 618);
+/// st.remove(id).unwrap();
+/// assert_eq!(st.free_slots(), 650);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IStore {
+    installed: Vec<(u32, usize)>, // (id, slots)
+    next_id: u32,
+    capacity: usize,
+}
+
+impl Default for IStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IStore {
+    /// An empty store: all 650 extension slots free.
+    pub fn new() -> Self {
+        Self::with_capacity(EXTENSION_SLOTS)
+    }
+
+    /// A store with explicit extension capacity (use
+    /// [`NEXT_GEN_EXTENSION_SLOTS`] for the chip revision the paper
+    /// anticipates).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            installed: Vec::new(),
+            next_id: 0,
+            capacity,
+        }
+    }
+
+    /// Free extension slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.used_slots()
+    }
+
+    /// Used extension slots.
+    pub fn used_slots(&self) -> usize {
+        self.installed.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Installs a code block of `slots` instructions, returning its id.
+    pub fn install(&mut self, slots: usize) -> Result<u32, IStoreError> {
+        if slots > self.free_slots() {
+            return Err(IStoreError::Full {
+                requested: slots,
+                available: self.free_slots(),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.installed.push((id, slots));
+        Ok(id)
+    }
+
+    /// Removes an installed block.
+    pub fn remove(&mut self, id: u32) -> Result<(), IStoreError> {
+        let pos = self
+            .installed
+            .iter()
+            .position(|&(i, _)| i == id)
+            .ok_or(IStoreError::NotFound)?;
+        self.installed.remove(pos);
+        Ok(())
+    }
+
+    /// MicroEngine-disabled cycles to write `slots` instructions.
+    pub fn install_cycles(slots: usize) -> u64 {
+        slots as u64 * CYCLES_PER_SLOT_WRITE
+    }
+
+    /// Cycles for a full control-store rewrite (classifier replacement —
+    /// "this would require re-loading the entire MicroEngine ISTORE").
+    pub fn full_rewrite_cycles() -> u64 {
+        Self::install_cycles(ISTORE_TOTAL_SLOTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_slot_arithmetic() {
+        assert_eq!(EXTENSION_SLOTS, 650);
+        // "adding a 10-instruction forwarder to the ISTORE takes 800
+        // cycles, while rewriting the entire ISTORE takes over 80,000".
+        assert_eq!(IStore::install_cycles(10), 800);
+        assert!(IStore::full_rewrite_cycles() > 80_000);
+    }
+
+    #[test]
+    fn install_until_full() {
+        let mut st = IStore::new();
+        let mut ids = Vec::new();
+        for _ in 0..13 {
+            ids.push(st.install(50).unwrap());
+        }
+        assert_eq!(st.free_slots(), 0);
+        assert!(matches!(st.install(1), Err(IStoreError::Full { .. })));
+        st.remove(ids[0]).unwrap();
+        assert_eq!(st.free_slots(), 50);
+    }
+
+    #[test]
+    fn remove_unknown_fails() {
+        let mut st = IStore::new();
+        assert_eq!(st.remove(7), Err(IStoreError::NotFound));
+    }
+
+    #[test]
+    fn used_plus_free_is_constant() {
+        let mut st = IStore::new();
+        st.install(100).unwrap();
+        st.install(23).unwrap();
+        assert_eq!(st.used_slots() + st.free_slots(), EXTENSION_SLOTS);
+    }
+}
+
+#[cfg(test)]
+mod next_gen_tests {
+    use super::*;
+
+    #[test]
+    fn next_gen_capacity_is_1674_total() {
+        // 650 + 1024 extension slots (section 4.3's forward look).
+        assert_eq!(NEXT_GEN_EXTENSION_SLOTS, 1674);
+        let st = IStore::with_capacity(NEXT_GEN_EXTENSION_SLOTS);
+        assert_eq!(st.free_slots(), 1674);
+    }
+
+    #[test]
+    fn next_gen_fits_the_whole_table5_suite_twice() {
+        let mut st = IStore::with_capacity(NEXT_GEN_EXTENSION_SLOTS);
+        // ~205 slots of forwarders installed 8 times over.
+        for _ in 0..8 {
+            st.install(205).unwrap();
+        }
+        assert!(st.free_slots() < 205);
+    }
+}

@@ -1,0 +1,224 @@
+//! Chip configuration: every hardware constant the model uses, each with
+//! its provenance in the paper (section / table) or the IXP1200 datasheet.
+
+use npr_sim::{cycles_to_ps, Time, PS_PER_SEC};
+
+/// Number of MicroEngines on the IXP1200.
+pub const NUM_MICROENGINES: usize = 6;
+
+/// Hardware contexts per MicroEngine.
+pub const CTX_PER_ME: usize = 4;
+
+/// Total hardware contexts.
+pub const NUM_CTX: usize = NUM_MICROENGINES * CTX_PER_ME;
+
+/// Input FIFO slots (paper, section 3.1: "16 of each").
+pub const IN_FIFO_SLOTS: usize = 16;
+
+/// Output FIFO slots.
+pub const OUT_FIFO_SLOTS: usize = 16;
+
+/// Port configuration of the evaluation board:
+/// 8 x 100 Mbps + 2 x 1 Gbps Ethernet (paper, section 2.2).
+pub const NUM_PORTS: usize = 10;
+
+/// Per-port link rates in bits per second.
+pub fn default_port_rates() -> Vec<u64> {
+    let mut v = vec![100_000_000u64; 8];
+    v.extend_from_slice(&[1_000_000_000, 1_000_000_000]);
+    v
+}
+
+/// All timing constants for the machine model.
+///
+/// Defaults reproduce the paper's evaluation system. Experiments override
+/// individual fields (e.g. `ideal_ports` for the "infinitely fast network
+/// ports" methodology of section 3.5.1).
+#[derive(Debug, Clone)]
+pub struct ChipConfig {
+    // ---- Memory system (paper, Table 3 + section 2.2 bandwidths) ----
+    /// DRAM read latency in cycles for the common 32-byte transfer.
+    pub dram_read_cycles: u64,
+    /// DRAM write latency in cycles (32-byte transfer).
+    pub dram_write_cycles: u64,
+    /// DRAM datapath: 64-bit x 100 MHz = 6.4 Gbps peak.
+    pub dram_bps: u64,
+    /// SRAM read latency in cycles (4-byte transfer).
+    pub sram_read_cycles: u64,
+    /// SRAM write latency in cycles.
+    pub sram_write_cycles: u64,
+    /// SRAM datapath: 32-bit x 100 MHz = 3.2 Gbps peak.
+    pub sram_bps: u64,
+    /// Scratch read latency in cycles (4-byte transfer).
+    pub scratch_read_cycles: u64,
+    /// Scratch write latency in cycles.
+    pub scratch_write_cycles: u64,
+    /// Scratch is on-chip; its datapath is one word per cycle.
+    pub scratch_bps: u64,
+
+    // ---- IX bus / DMA (paper, sections 2.2 and 3.2) ----
+    /// IX bus peak: 64-bit x 66 MHz ~ 4 Gbps (paper, section 2.2).
+    pub ix_bus_bps: u64,
+    /// Fixed cycles of DMA data-path occupancy per receive transfer
+    /// beyond the byte time (bus turnaround).
+    pub dma_setup_cycles: u64,
+    /// Command-acceptance latency of the shared DMA state machine on
+    /// the receive side: extra completion latency seen by the issuing
+    /// context (held under the input token) that does NOT occupy the
+    /// data path. This is what makes the serialized input section ~53
+    /// cycles and caps input-side scaling near 3.7 Mpps (Figure 7).
+    pub dma_rx_cmd_cycles: u64,
+    /// DMA setup on the transmit side. Output FIFO slots are strictly
+    /// ordered and consumed circularly by the DMA machine, so per-slot
+    /// activation is much cheaper than the receive side's port polling;
+    /// this keeps the output stage scaling near-linearly to 24 contexts
+    /// (Figure 7) up to the IX-bus ceiling.
+    pub dma_tx_setup_cycles: u64,
+
+    // ---- Contexts / signalling ----
+    /// Context-swap dead time on a MicroEngine (deferred branch shadow).
+    pub ctx_swap_cycles: u64,
+    /// One-cycle, on-chip inter-thread signal: token pass latency
+    /// (paper, section 3.2.2: "takes a single cycle").
+    pub token_pass_cycles: u64,
+    /// Hardware-mutex grant latency when uncontended (a CAM/SRAM region
+    /// access, section 3.4.2).
+    pub mutex_grant_cycles: u64,
+    /// Additional handoff latency when a mutex passes to a queued waiter.
+    pub mutex_handoff_cycles: u64,
+
+    // ---- Ports ----
+    /// Bits per second for each port.
+    pub port_rates_bps: Vec<u64>,
+    /// Per-port receive buffer capacity in MPs; overflow drops the MP
+    /// (and thus the frame), as on the real MACs.
+    pub port_rx_buf_mps: usize,
+    /// Wire overhead per frame in bytes (preamble 8 + IFG 12 + FCS 4),
+    /// which makes a 60-byte frame occupy 84 byte-times: the 148.8 Kpps
+    /// theoretical maximum of the paper's section 3.5.1.
+    pub wire_overhead_bytes: usize,
+    /// "Infinitely fast network ports": input contexts always find an MP
+    /// (a clone of the port's template), output discards at zero cost.
+    /// This is the paper's FIFO-to-FIFO measurement mode.
+    pub ideal_ports: bool,
+    /// Replace the blocking hardware mutexes with test-and-set spin
+    /// locks built from ordinary SRAM accesses — the strategy the paper
+    /// rejected: "our experiments with this strategy reveal
+    /// performance-crippling memory contention when many contexts
+    /// attempt to acquire the lock at the same time" (section 3.4.2).
+    /// Kept as an ablation.
+    pub spinlock_mutexes: bool,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self {
+            // Table 3 of the paper (measured MicroEngine cycles).
+            dram_read_cycles: 52,
+            dram_write_cycles: 40,
+            dram_bps: 6_400_000_000,
+            sram_read_cycles: 22,
+            sram_write_cycles: 22,
+            sram_bps: 3_200_000_000,
+            scratch_read_cycles: 16,
+            scratch_write_cycles: 20,
+            scratch_bps: 6_400_000_000,
+            ix_bus_bps: 4_000_000_000,
+            dma_setup_cycles: 2,
+            dma_rx_cmd_cycles: 10,
+            dma_tx_setup_cycles: 1,
+            ctx_swap_cycles: 1,
+            token_pass_cycles: 1,
+            mutex_grant_cycles: 26,
+            mutex_handoff_cycles: 40,
+            port_rates_bps: default_port_rates(),
+            port_rx_buf_mps: 16,
+            wire_overhead_bytes: 24,
+            ideal_ports: false,
+            spinlock_mutexes: false,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// The paper's FIFO-to-FIFO measurement configuration (section 3.5.1):
+    /// port interaction removed, every input iteration finds an MP.
+    pub fn ideal() -> Self {
+        Self {
+            ideal_ports: true,
+            ..Self::default()
+        }
+    }
+
+    /// Picoseconds to move `bytes` over the IX bus.
+    pub fn ix_bus_ps(&self, bytes: usize) -> Time {
+        bytes as u64 * 8 * PS_PER_SEC / self.ix_bus_bps
+    }
+
+    /// Total DMA occupancy for one receive transfer of `bytes`.
+    pub fn dma_occupancy_ps(&self, bytes: usize) -> Time {
+        cycles_to_ps(self.dma_setup_cycles) + self.ix_bus_ps(bytes)
+    }
+
+    /// Total DMA occupancy for one transmit transfer of `bytes`.
+    pub fn dma_tx_occupancy_ps(&self, bytes: usize) -> Time {
+        cycles_to_ps(self.dma_tx_setup_cycles) + self.ix_bus_ps(bytes)
+    }
+
+    /// Picoseconds for `bytes` to cross the wire on `port` (including
+    /// per-frame overhead when `with_overhead`).
+    pub fn wire_ps(&self, port: usize, bytes: usize, with_overhead: bool) -> Time {
+        let total = bytes
+            + if with_overhead {
+                self.wire_overhead_bytes
+            } else {
+                0
+            };
+        total as u64 * 8 * PS_PER_SEC / self.port_rates_bps[port]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_shape() {
+        assert_eq!(NUM_CTX, 24);
+        let rates = default_port_rates();
+        assert_eq!(rates.len(), NUM_PORTS);
+        assert_eq!(rates.iter().sum::<u64>(), 2_800_000_000);
+    }
+
+    #[test]
+    fn min_frame_wire_time_matches_ieee_rate() {
+        // 60-byte frame + 24 overhead = 84 bytes = 6.72 us at 100 Mbps,
+        // i.e. the 148.8 Kpps theoretical max of section 3.5.1.
+        let cfg = ChipConfig::default();
+        let t = cfg.wire_ps(0, 60, true);
+        assert_eq!(t, 6_720_000);
+        let pps = PS_PER_SEC as f64 / t as f64;
+        assert!((pps - 148_809.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn ix_bus_moves_64b_in_128ns() {
+        let cfg = ChipConfig::default();
+        assert_eq!(cfg.ix_bus_ps(64), 128_000);
+    }
+
+    #[test]
+    fn dma_occupancy_includes_setup() {
+        let cfg = ChipConfig::default();
+        assert_eq!(
+            cfg.dma_occupancy_ps(64),
+            cycles_to_ps(cfg.dma_setup_cycles) + 128_000
+        );
+    }
+
+    #[test]
+    fn gig_ports_are_10x_faster() {
+        let cfg = ChipConfig::default();
+        assert_eq!(cfg.wire_ps(8, 60, true) * 10, cfg.wire_ps(0, 60, true));
+    }
+}

@@ -1,0 +1,183 @@
+//! Machine-level invariants, property-tested over randomized programs:
+//! token rings and mutexes are truly mutually exclusive, and the whole
+//! machine is a deterministic function of its inputs.
+
+use npr_ixp::{ChipConfig, CtxProgram, Env, Ixp, IxpEv, MemKind, Op, Sched};
+use npr_sim::{EventQueue, Time, XorShift64};
+use proptest::prelude::*;
+
+struct Q(EventQueue<IxpEv>);
+impl Sched for Q {
+    fn now(&self) -> Time {
+        self.0.now()
+    }
+    fn at(&mut self, t: Time, ev: IxpEv) {
+        self.0.schedule(t, ev);
+    }
+}
+
+/// Critical-section occupancy log shared by all contexts.
+#[derive(Default)]
+struct World {
+    /// `(time, ctx, enter?)` markers around critical sections.
+    log: Vec<(Time, usize, bool)>,
+    reg_total: u64,
+}
+
+/// A randomized loop: acquire (ring or mutex), compute, release, then
+/// filler work.
+struct Looper {
+    ops: Vec<Op>,
+    pc: usize,
+    iterations: u32,
+}
+
+impl CtxProgram<World> for Looper {
+    fn resume(&mut self, env: &mut Env<'_, World>) -> Op {
+        if self.pc >= self.ops.len() {
+            self.pc = 0;
+            if self.iterations == 0 {
+                return Op::Halt;
+            }
+            self.iterations -= 1;
+        }
+        let op = self.ops[self.pc];
+        self.pc += 1;
+        // Enter/exit markers around the critical compute: the op after
+        // an acquire is the critical compute (by construction below),
+        // and by the time it is fetched the grant has happened.
+        if self.pc >= 2
+            && matches!(
+                self.ops[self.pc - 2],
+                Op::TokenAcquire(_) | Op::MutexAcquire(_)
+            )
+        {
+            env.world.log.push((env.now, env.ctx, true));
+        }
+        if matches!(op, Op::TokenRelease(_) | Op::MutexRelease(_)) {
+            env.world.log.push((env.now, env.ctx, false));
+        }
+        if let Op::Compute(n) = op {
+            env.world.reg_total += u64::from(n);
+        }
+        op
+    }
+}
+
+fn build(seed: u64, use_mutex: bool) -> (Ixp<World>, World) {
+    let mut rng = XorShift64::new(seed);
+    let mut ixp: Ixp<World> = Ixp::new(ChipConfig::ideal());
+    let nctx = 2 + rng.below(10) as usize;
+    let members: Vec<usize> = (0..nctx).collect();
+    let ring = ixp.add_ring(members.clone());
+    let mutex = ixp.add_mutex();
+    for &c in &members {
+        let crit = 1 + rng.below(20) as u32;
+        let filler = 1 + rng.below(60) as u32;
+        let ops = if use_mutex {
+            vec![
+                Op::MutexAcquire(mutex),
+                Op::Compute(crit),
+                Op::MutexRelease(mutex),
+                Op::Compute(filler),
+                Op::MemRead(MemKind::Dram, 32),
+            ]
+        } else {
+            vec![
+                Op::TokenAcquire(ring),
+                Op::Compute(crit),
+                Op::TokenRelease(ring),
+                Op::Compute(filler),
+                Op::MemRead(MemKind::Sram, 4),
+            ]
+        };
+        ixp.set_program(
+            c,
+            Box::new(Looper {
+                ops,
+                pc: 0,
+                iterations: 20 + rng.below(30) as u32,
+            }),
+        );
+    }
+    (ixp, World::default())
+}
+
+fn run(mut ixp: Ixp<World>, mut world: World) -> (Time, World, u64) {
+    let mut q = Q(EventQueue::new());
+    ixp.start(&mut world, &mut q);
+    let mut guard = 0u64;
+    while let Some((_, ev)) = q.0.pop() {
+        ixp.handle(ev, &mut world, &mut q);
+        guard += 1;
+        assert!(guard < 5_000_000, "runaway simulation");
+    }
+    (q.0.now(), world, ixp.reg_cycles())
+}
+
+/// Checks that enter/exit markers never nest across contexts.
+fn assert_mutual_exclusion(log: &[(Time, usize, bool)]) {
+    let mut holder: Option<usize> = None;
+    for &(t, ctx, enter) in log {
+        if enter {
+            assert!(
+                holder.is_none(),
+                "ctx {ctx} entered at {t} while {holder:?} held the section"
+            );
+            holder = Some(ctx);
+        } else {
+            assert_eq!(holder, Some(ctx), "release by non-holder at {t}");
+            holder = None;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn token_ring_is_mutually_exclusive(seed: u64) {
+        let (ixp, world) = build(seed, false);
+        let (_, world, _) = run(ixp, world);
+        prop_assert!(!world.log.is_empty());
+        assert_mutual_exclusion(&world.log);
+    }
+
+    #[test]
+    fn hardware_mutex_is_mutually_exclusive(seed: u64) {
+        let (ixp, world) = build(seed, true);
+        let (_, world, _) = run(ixp, world);
+        prop_assert!(!world.log.is_empty());
+        assert_mutual_exclusion(&world.log);
+    }
+
+    #[test]
+    fn machine_runs_are_deterministic(seed: u64) {
+        let (ixp_a, wa) = build(seed, seed % 2 == 0);
+        let (end_a, wa, regs_a) = run(ixp_a, wa);
+        let (ixp_b, wb) = build(seed, seed % 2 == 0);
+        let (end_b, wb, regs_b) = run(ixp_b, wb);
+        prop_assert_eq!(end_a, end_b);
+        prop_assert_eq!(regs_a, regs_b);
+        prop_assert_eq!(wa.log, wb.log);
+        prop_assert_eq!(wa.reg_total, wb.reg_total);
+    }
+
+    #[test]
+    fn token_service_is_round_robin_fair(seed: u64) {
+        // Every ring member loops the same bounded iteration count, so
+        // enter-markers per context must stay within the iteration
+        // spread.
+        let (ixp, world) = build(seed, false);
+        let (_, world, _) = run(ixp, world);
+        let mut counts = std::collections::HashMap::new();
+        for &(_, ctx, enter) in &world.log {
+            if enter {
+                *counts.entry(ctx).or_insert(0u32) += 1;
+            }
+        }
+        let min = counts.values().min().copied().unwrap_or(0);
+        let max = counts.values().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= 50, "unfair token service: {min}..{max}");
+    }
+}

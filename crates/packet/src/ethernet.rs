@@ -1,0 +1,196 @@
+//! Ethernet (DIX) framing.
+
+use crate::PacketError;
+
+/// Bytes in an Ethernet header (dst + src + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Minimum frame length (without FCS), per IEEE 802.3: 60 bytes of
+/// header + payload (64 on the wire including the 4-byte FCS, which the
+/// MACs strip/append in hardware and we do not model as bytes).
+pub const MIN_FRAME_LEN: usize = 60;
+
+/// Maximum frame length (1518-octet frame minus 4-byte FCS).
+pub const MAX_FRAME_LEN: usize = 1514;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A deterministic "locally administered" address for port `n`,
+    /// used when synthesizing router port MACs.
+    pub const fn for_port(n: u8) -> MacAddr {
+        MacAddr([0x02, 0x00, 0x00, 0x00, 0x00, n])
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values the router understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// MPLS unicast (0x8847) — the paper notes the infrastructure applies
+    /// equally to an MPLS switch.
+    Mpls,
+    /// Anything else.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x8847 => EtherType::Mpls,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Mpls => 0x8847,
+            EtherType::Other(o) => o,
+        }
+    }
+}
+
+/// A zero-copy view over an Ethernet frame's bytes.
+///
+/// # Examples
+///
+/// ```
+/// use npr_packet::{EthernetFrame, EtherType, MacAddr};
+///
+/// let mut bytes = vec![0u8; 60];
+/// EthernetFrame::write_header(
+///     &mut bytes,
+///     MacAddr::for_port(1),
+///     MacAddr::for_port(2),
+///     EtherType::Ipv4,
+/// );
+/// let view = EthernetFrame::parse(&bytes).unwrap();
+/// assert_eq!(view.dst(), MacAddr::for_port(1));
+/// assert_eq!(view.ethertype(), EtherType::Ipv4);
+/// ```
+#[derive(Debug)]
+pub struct EthernetFrame<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> EthernetFrame<'a> {
+    /// Parses (validates length only; Ethernet has no header checksum).
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, PacketError> {
+        if bytes.len() < ETHERNET_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        Ok(Self { bytes })
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.bytes[0..6]);
+        MacAddr(m)
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&self.bytes[6..12]);
+        MacAddr(m)
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        u16::from_be_bytes([self.bytes[12], self.bytes[13]]).into()
+    }
+
+    /// Payload after the header.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[ETHERNET_HEADER_LEN..]
+    }
+
+    /// Writes a header into the first 14 bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`ETHERNET_HEADER_LEN`].
+    pub fn write_header(buf: &mut [u8], dst: MacAddr, src: MacAddr, et: EtherType) {
+        buf[0..6].copy_from_slice(&dst.0);
+        buf[6..12].copy_from_slice(&src.0);
+        buf[12..14].copy_from_slice(&u16::from(et).to_be_bytes());
+    }
+
+    /// Rewrites only the destination MAC (the minimal forwarder's job).
+    pub fn set_dst(buf: &mut [u8], dst: MacAddr) {
+        buf[0..6].copy_from_slice(&dst.0);
+    }
+
+    /// Rewrites only the source MAC.
+    pub fn set_src(buf: &mut [u8], src: MacAddr) {
+        buf[6..12].copy_from_slice(&src.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let mut b = vec![0u8; MIN_FRAME_LEN];
+        EthernetFrame::write_header(&mut b, MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Mpls);
+        let f = EthernetFrame::parse(&b).unwrap();
+        assert_eq!(f.dst(), MacAddr([1; 6]));
+        assert_eq!(f.src(), MacAddr([2; 6]));
+        assert_eq!(f.ethertype(), EtherType::Mpls);
+        assert_eq!(f.payload().len(), MIN_FRAME_LEN - ETHERNET_HEADER_LEN);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert_eq!(
+            EthernetFrame::parse(&[0u8; 13]).unwrap_err(),
+            PacketError::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(u16::from(EtherType::Other(0x1234)), 0x1234);
+        assert_eq!(EtherType::from(0xabcd), EtherType::Other(0xabcd));
+    }
+
+    #[test]
+    fn set_dst_only_touches_dst() {
+        let mut b = vec![0u8; MIN_FRAME_LEN];
+        EthernetFrame::write_header(&mut b, MacAddr([1; 6]), MacAddr([2; 6]), EtherType::Ipv4);
+        EthernetFrame::set_dst(&mut b, MacAddr([9; 6]));
+        let f = EthernetFrame::parse(&b).unwrap();
+        assert_eq!(f.dst(), MacAddr([9; 6]));
+        assert_eq!(f.src(), MacAddr([2; 6]));
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::for_port(5).to_string(), "02:00:00:00:00:05");
+    }
+}

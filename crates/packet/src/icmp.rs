@@ -1,0 +1,212 @@
+//! ICMP message construction (RFC 792) — the slow-path work behind the
+//! fast path's TTL escalation.
+//!
+//! The paper routes packets with expiring TTLs to the StrongARM as
+//! "exceptional"; what the slow path *does* with them is generate ICMP
+//! Time Exceeded replies. This module builds those replies (and Echo
+//! replies, for the router's own reachability).
+
+use crate::checksum::checksum16;
+use crate::ethernet::{EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN};
+use crate::ipv4::{Ipv4Header, Ipv4Proto};
+use crate::PacketError;
+
+/// ICMP type: echo reply.
+pub const ICMP_ECHO_REPLY: u8 = 0;
+/// ICMP type: echo request.
+pub const ICMP_ECHO_REQUEST: u8 = 8;
+/// ICMP type: time exceeded.
+pub const ICMP_TIME_EXCEEDED: u8 = 11;
+/// ICMP type: destination unreachable.
+pub const ICMP_DEST_UNREACHABLE: u8 = 3;
+
+/// Builds an ICMP error reply (Time Exceeded or Destination
+/// Unreachable) for the offending `frame`, sourced from `router_addr`
+/// and addressed back to the packet's sender. Quotes the IP header plus
+/// the first 8 payload bytes, per the RFC.
+pub fn error_reply(
+    frame: &[u8],
+    router_addr: u32,
+    router_mac: MacAddr,
+    icmp_type: u8,
+    code: u8,
+) -> Result<Vec<u8>, PacketError> {
+    let eth = EthernetFrame::parse(frame)?;
+    let ip = Ipv4Header::parse(eth.payload())?;
+    let quote_len = (usize::from(ip.header_len) + 8).min(eth.payload().len());
+
+    // ICMP body: type, code, checksum, unused, quoted datagram.
+    let mut icmp = vec![icmp_type, code, 0, 0, 0, 0, 0, 0];
+    icmp.extend_from_slice(&eth.payload()[..quote_len]);
+    let sum = checksum16(&icmp);
+    icmp[2..4].copy_from_slice(&sum.to_be_bytes());
+
+    // Enclosing IP + Ethernet headers, back toward the source.
+    let total_len = 20 + icmp.len();
+    let frame_len = (ETHERNET_HEADER_LEN + total_len).max(60);
+    let mut out = vec![0u8; frame_len];
+    EthernetFrame::write_header(&mut out, eth.src(), router_mac, EtherType::Ipv4);
+    Ipv4Header {
+        header_len: 20,
+        dscp_ecn: 0,
+        total_len: total_len as u16,
+        ident: 0,
+        flags_frag: 0,
+        ttl: 64,
+        proto: Ipv4Proto::Icmp,
+        checksum: 0,
+        src: router_addr,
+        dst: ip.src,
+    }
+    .write(&mut out[14..]);
+    out[34..34 + icmp.len()].copy_from_slice(&icmp);
+    Ok(out)
+}
+
+/// Turns an ICMP Echo Request addressed to the router into an Echo
+/// Reply, in place. Returns `Err` if the frame is not an echo request.
+pub fn echo_reply_in_place(frame: &mut [u8]) -> Result<(), PacketError> {
+    let eth = EthernetFrame::parse(frame)?;
+    let ip = Ipv4Header::parse(eth.payload())?;
+    if ip.proto != Ipv4Proto::Icmp {
+        return Err(PacketError::Malformed);
+    }
+    let icmp_off = ETHERNET_HEADER_LEN + usize::from(ip.header_len);
+    if frame.len() < icmp_off + 8 || frame[icmp_off] != ICMP_ECHO_REQUEST {
+        return Err(PacketError::Malformed);
+    }
+    // Swap MACs and IPs, flip the type, patch checksums.
+    let (src_mac, dst_mac) = (eth.src(), eth.dst());
+    EthernetFrame::set_dst(frame, src_mac);
+    EthernetFrame::set_src(frame, dst_mac);
+    let (src_ip, dst_ip) = (ip.src, ip.dst);
+    let mut hdr = Ipv4Header::parse(&frame[14..])?;
+    hdr.src = dst_ip;
+    hdr.dst = src_ip;
+    hdr.ttl = 64;
+    hdr.write(&mut frame[14..34]);
+    frame[icmp_off] = ICMP_ECHO_REPLY;
+    // Recompute the ICMP checksum over the message.
+    frame[icmp_off + 2] = 0;
+    frame[icmp_off + 3] = 0;
+    let sum = checksum16(&frame[icmp_off..]);
+    frame[icmp_off + 2..icmp_off + 4].copy_from_slice(&sum.to_be_bytes());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udpish_frame(src: u32, dst: u32, ttl: u8) -> Vec<u8> {
+        let mut f = vec![0u8; 60];
+        EthernetFrame::write_header(
+            &mut f,
+            MacAddr::for_port(0),
+            MacAddr([2, 2, 2, 2, 2, 2]),
+            EtherType::Ipv4,
+        );
+        Ipv4Header {
+            header_len: 20,
+            dscp_ecn: 0,
+            total_len: 46,
+            ident: 0x99,
+            flags_frag: 0,
+            ttl,
+            proto: Ipv4Proto::Udp,
+            checksum: 0,
+            src,
+            dst,
+        }
+        .write(&mut f[14..]);
+        f
+    }
+
+    #[test]
+    fn time_exceeded_reply_is_valid_and_addressed_back() {
+        let offender = udpish_frame(0x0a000005, 0x0a010001, 1);
+        let reply = error_reply(
+            &offender,
+            0x0a0000fe,
+            MacAddr::for_port(0),
+            ICMP_TIME_EXCEEDED,
+            0,
+        )
+        .unwrap();
+        let eth = EthernetFrame::parse(&reply).unwrap();
+        assert_eq!(eth.dst(), MacAddr([2, 2, 2, 2, 2, 2]), "back to sender");
+        let ip = Ipv4Header::parse(eth.payload()).unwrap();
+        assert_eq!(ip.dst, 0x0a000005);
+        assert_eq!(ip.src, 0x0a0000fe);
+        assert_eq!(ip.proto, Ipv4Proto::Icmp);
+        // ICMP checksum validates.
+        let total = usize::from(ip.total_len);
+        assert_eq!(checksum16(&reply[34..14 + total]), 0);
+        assert_eq!(reply[34], ICMP_TIME_EXCEEDED);
+    }
+
+    #[test]
+    fn reply_quotes_the_offending_header() {
+        let offender = udpish_frame(0x01020304, 0x05060708, 1);
+        let reply = error_reply(
+            &offender,
+            0x0a0000fe,
+            MacAddr::for_port(0),
+            ICMP_TIME_EXCEEDED,
+            0,
+        )
+        .unwrap();
+        // The quoted datagram starts 8 bytes into the ICMP message.
+        let quoted = &reply[42..62];
+        let q = Ipv4Header::parse(quoted).unwrap();
+        assert_eq!(q.src, 0x01020304);
+        assert_eq!(q.dst, 0x05060708);
+        assert_eq!(q.ttl, 1);
+    }
+
+    #[test]
+    fn echo_request_becomes_reply() {
+        let mut f = vec![0u8; 74];
+        EthernetFrame::write_header(
+            &mut f,
+            MacAddr::for_port(3),
+            MacAddr([9; 6]),
+            EtherType::Ipv4,
+        );
+        Ipv4Header {
+            header_len: 20,
+            dscp_ecn: 0,
+            total_len: 60,
+            ident: 1,
+            flags_frag: 0,
+            ttl: 7,
+            proto: Ipv4Proto::Icmp,
+            checksum: 0,
+            src: 0x0a000001,
+            dst: 0x0a0000fe,
+        }
+        .write(&mut f[14..]);
+        f[34] = ICMP_ECHO_REQUEST;
+        f[38..42].copy_from_slice(&0xCAFE_0001u32.to_be_bytes()); // Id/seq.
+        let sum = checksum16(&f[34..]);
+        f[36..38].copy_from_slice(&sum.to_be_bytes());
+
+        echo_reply_in_place(&mut f).unwrap();
+
+        let eth = EthernetFrame::parse(&f).unwrap();
+        assert_eq!(eth.dst(), MacAddr([9; 6]));
+        let ip = Ipv4Header::parse(eth.payload()).unwrap();
+        assert_eq!(ip.src, 0x0a0000fe);
+        assert_eq!(ip.dst, 0x0a000001);
+        assert_eq!(f[34], ICMP_ECHO_REPLY);
+        assert_eq!(checksum16(&f[34..]), 0);
+        // Id/seq preserved.
+        assert_eq!(&f[38..42], &0xCAFE_0001u32.to_be_bytes());
+    }
+
+    #[test]
+    fn non_echo_is_rejected() {
+        let mut f = udpish_frame(1, 2, 64);
+        assert!(echo_reply_in_place(&mut f).is_err());
+    }
+}

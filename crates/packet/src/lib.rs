@@ -1,0 +1,59 @@
+//! `npr-packet`: byte-level packets for the software router.
+//!
+//! Everything the router's data plane touches is real bytes: Ethernet
+//! frames carrying IPv4 with TCP or UDP payloads. Forwarders mutate these
+//! bytes exactly as the paper's MicroEngine code does (TTL decrement,
+//! incremental checksum update, MAC rewrite, TCP header patching for
+//! splicing), so correctness is testable independent of timing.
+//!
+//! The crate also provides the IXP1200's unit of transfer — the 64-byte
+//! *MAC-packet* ([`Mp`]) with first/intermediate/last/only tags — and the
+//! paper's circular 8192 x 2 KB DRAM packet-buffer allocator with its
+//! "valid for one lap" lifetime property ([`BufferPool`]).
+
+pub mod buffer;
+pub mod checksum;
+pub mod ethernet;
+pub mod icmp;
+pub mod ipv4;
+pub mod mp;
+pub mod mpls;
+pub mod tcp;
+pub mod udp;
+
+pub use buffer::{BufferHandle, BufferPool};
+pub use checksum::{checksum16, incremental_update16, ones_complement_add};
+pub use ethernet::{
+    EtherType, EthernetFrame, MacAddr, ETHERNET_HEADER_LEN, MAX_FRAME_LEN, MIN_FRAME_LEN,
+};
+pub use ipv4::{Ipv4Header, Ipv4Proto, IPV4_HEADER_LEN};
+pub use mp::{Mp, MpTag, MP_SIZE};
+pub use mpls::{parse_stack, MplsLabel};
+pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
+pub use udp::{UdpHeader, UDP_HEADER_LEN};
+
+/// A fully materialized frame: the unit handed to MAC ports.
+pub type Frame = Vec<u8>;
+
+/// Errors arising from malformed packet bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is shorter than the header that was requested from it.
+    Truncated,
+    /// A version/length field is inconsistent with the bytes present.
+    Malformed,
+    /// A checksum failed verification.
+    BadChecksum,
+}
+
+impl core::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "packet truncated"),
+            PacketError::Malformed => write!(f, "packet malformed"),
+            PacketError::BadChecksum => write!(f, "bad checksum"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}

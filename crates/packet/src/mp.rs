@@ -1,0 +1,171 @@
+//! MAC-packets: the IXP1200's 64-byte unit of transfer.
+//!
+//! "The common unit of data transferred through the IXP1200 is a 64-byte
+//! MAC-Packet (MP). As each packet is received, the MAC breaks it into
+//! separate MPs; tags each MP as being the first, an intermediate, the
+//! last, or the only MP of the packet" (paper, section 3.1).
+
+use crate::Frame;
+
+/// Bytes per MAC-packet.
+pub const MP_SIZE: usize = 64;
+
+/// Position of an MP within its frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpTag {
+    /// First MP of a multi-MP frame.
+    First,
+    /// Neither first nor last.
+    Intermediate,
+    /// Last MP of a multi-MP frame.
+    Last,
+    /// The frame fits in a single MP.
+    Only,
+}
+
+impl MpTag {
+    /// True for `First` and `Only` — the MPs that carry the headers and
+    /// drive classification/enqueueing.
+    pub fn starts_packet(self) -> bool {
+        matches!(self, MpTag::First | MpTag::Only)
+    }
+
+    /// True for `Last` and `Only` — the MPs whose transmission completes
+    /// a frame.
+    pub fn ends_packet(self) -> bool {
+        matches!(self, MpTag::Last | MpTag::Only)
+    }
+}
+
+/// One 64-byte MAC-packet.
+#[derive(Debug, Clone)]
+pub struct Mp {
+    /// Up to 64 bytes of frame data.
+    pub data: [u8; MP_SIZE],
+    /// Number of valid bytes in `data`.
+    pub len: u8,
+    /// Position tag.
+    pub tag: MpTag,
+    /// Port the MP arrived on (or is destined to).
+    pub port: u8,
+    /// Identifier of the frame this MP belongs to (simulation-side
+    /// bookkeeping; real hardware correlates by arrival order per port).
+    pub frame_id: u64,
+}
+
+impl Mp {
+    /// Splits `frame` into tagged MPs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use npr_packet::{Mp, MpTag};
+    ///
+    /// let frame = vec![0xabu8; 150];
+    /// let mps = Mp::segment(&frame, 3, 7);
+    /// assert_eq!(mps.len(), 3);
+    /// assert_eq!(mps[0].tag, MpTag::First);
+    /// assert_eq!(mps[1].tag, MpTag::Intermediate);
+    /// assert_eq!(mps[2].tag, MpTag::Last);
+    /// assert_eq!(mps[2].len, 22);
+    /// ```
+    pub fn segment(frame: &[u8], port: u8, frame_id: u64) -> Vec<Mp> {
+        let n = frame.len().div_ceil(MP_SIZE).max(1);
+        let mut out = Vec::with_capacity(n);
+        for (i, chunk) in frame.chunks(MP_SIZE).enumerate() {
+            let mut data = [0u8; MP_SIZE];
+            data[..chunk.len()].copy_from_slice(chunk);
+            let tag = match (i, n) {
+                (_, 1) => MpTag::Only,
+                (0, _) => MpTag::First,
+                (i, n) if i == n - 1 => MpTag::Last,
+                _ => MpTag::Intermediate,
+            };
+            out.push(Mp {
+                data,
+                len: chunk.len() as u8,
+                tag,
+                port,
+                frame_id,
+            });
+        }
+        if out.is_empty() {
+            out.push(Mp {
+                data: [0; MP_SIZE],
+                len: 0,
+                tag: MpTag::Only,
+                port,
+                frame_id,
+            });
+        }
+        out
+    }
+
+    /// Reassembles a frame from its MPs (inverse of [`Mp::segment`]).
+    pub fn reassemble(mps: &[Mp]) -> Frame {
+        let mut out = Vec::with_capacity(mps.len() * MP_SIZE);
+        for mp in mps {
+            out.extend_from_slice(&mp.data[..mp.len as usize]);
+        }
+        out
+    }
+
+    /// Number of MPs needed for a frame of `len` bytes.
+    pub fn count_for_len(len: usize) -> usize {
+        len.div_ceil(MP_SIZE).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_mp_frame_is_only() {
+        let mps = Mp::segment(&[1u8; 64], 0, 0);
+        assert_eq!(mps.len(), 1);
+        assert_eq!(mps[0].tag, MpTag::Only);
+        assert!(mps[0].tag.starts_packet());
+        assert!(mps[0].tag.ends_packet());
+    }
+
+    #[test]
+    fn max_frame_is_24_mps() {
+        // "forwarding a 1500-byte packet involves forwarding twenty-four
+        // 64-byte MPs" (paper, section 3.7).
+        let mps = Mp::segment(&[0u8; 1500], 0, 0);
+        assert_eq!(mps.len(), 24);
+        assert_eq!(Mp::count_for_len(1500), 24);
+    }
+
+    #[test]
+    fn tags_are_ordered() {
+        let mps = Mp::segment(&[0u8; 200], 0, 0);
+        assert_eq!(mps[0].tag, MpTag::First);
+        assert!(mps[1..mps.len() - 1]
+            .iter()
+            .all(|m| m.tag == MpTag::Intermediate));
+        assert_eq!(mps.last().unwrap().tag, MpTag::Last);
+    }
+
+    #[test]
+    fn empty_frame_yields_one_empty_mp() {
+        let mps = Mp::segment(&[], 2, 9);
+        assert_eq!(mps.len(), 1);
+        assert_eq!(mps[0].len, 0);
+        assert_eq!(mps[0].port, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn segment_reassemble_round_trip(frame in proptest::collection::vec(any::<u8>(), 1..1600)) {
+            let mps = Mp::segment(&frame, 1, 42);
+            prop_assert_eq!(Mp::reassemble(&mps), frame.clone());
+            prop_assert_eq!(mps.len(), Mp::count_for_len(frame.len()));
+            // Exactly one start and one end tag.
+            prop_assert_eq!(mps.iter().filter(|m| m.tag.starts_packet()).count(), 1);
+            prop_assert_eq!(mps.iter().filter(|m| m.tag.ends_packet()).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! MPLS label stack entries (RFC 3032).
+//!
+//! The paper stresses that the forwarding infrastructure is
+//! protocol-agnostic: "this discussion is largely independent of IP,
+//! and so applies equally well to a router that supports, for example,
+//! MPLS", and the route-cache fast path "is what one would expect in
+//! the common case for a virtual circuit-based switch, such as one that
+//! supports MPLS". This module provides the label-stack encoding used
+//! by the MPLS forwarder in `npr-forwarders`.
+
+use crate::PacketError;
+
+/// One 32-bit label stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MplsLabel {
+    /// 20-bit label value.
+    pub label: u32,
+    /// 3-bit traffic class.
+    pub tc: u8,
+    /// Bottom-of-stack flag.
+    pub bos: bool,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl MplsLabel {
+    /// Decodes a stack entry from 4 bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < 4 {
+            return Err(PacketError::Truncated);
+        }
+        let w = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        Ok(Self {
+            label: w >> 12,
+            tc: ((w >> 9) & 0x7) as u8,
+            bos: (w >> 8) & 1 == 1,
+            ttl: (w & 0xff) as u8,
+        })
+    }
+
+    /// Encodes into 4 bytes.
+    pub fn encode(&self) -> [u8; 4] {
+        let w = (self.label << 12)
+            | (u32::from(self.tc) << 9)
+            | (u32::from(self.bos) << 8)
+            | u32::from(self.ttl);
+        w.to_be_bytes()
+    }
+
+    /// Writes into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than 4 bytes.
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[..4].copy_from_slice(&self.encode());
+    }
+}
+
+/// Parses the full label stack starting at `bytes` (after the Ethernet
+/// header of an `EtherType::Mpls` frame).
+pub fn parse_stack(bytes: &[u8]) -> Result<Vec<MplsLabel>, PacketError> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    loop {
+        let l = MplsLabel::parse(&bytes[off..])?;
+        let bos = l.bos;
+        out.push(l);
+        off += 4;
+        if bos {
+            return Ok(out);
+        }
+        if out.len() > 8 {
+            return Err(PacketError::Malformed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let l = MplsLabel {
+            label: 0xABCDE,
+            tc: 5,
+            bos: true,
+            ttl: 64,
+        };
+        assert_eq!(MplsLabel::parse(&l.encode()).unwrap(), l);
+    }
+
+    #[test]
+    fn label_is_20_bits() {
+        let l = MplsLabel {
+            label: (1 << 20) - 1,
+            tc: 7,
+            bos: false,
+            ttl: 255,
+        };
+        let p = MplsLabel::parse(&l.encode()).unwrap();
+        assert_eq!(p.label, (1 << 20) - 1);
+        assert!(!p.bos);
+    }
+
+    #[test]
+    fn stack_parses_to_bottom() {
+        let mut bytes = Vec::new();
+        for (i, bos) in [(100u32, false), (200, false), (300, true)] {
+            bytes.extend_from_slice(
+                &MplsLabel {
+                    label: i,
+                    tc: 0,
+                    bos,
+                    ttl: 64,
+                }
+                .encode(),
+            );
+        }
+        let stack = parse_stack(&bytes).unwrap();
+        assert_eq!(stack.len(), 3);
+        assert_eq!(stack[2].label, 300);
+        assert!(stack[2].bos);
+    }
+
+    #[test]
+    fn truncated_stack_rejected() {
+        let l = MplsLabel {
+            label: 1,
+            tc: 0,
+            bos: false, // Promises more entries that are not there.
+            ttl: 64,
+        };
+        assert!(parse_stack(&l.encode()).is_err());
+    }
+
+    #[test]
+    fn unterminated_stack_rejected() {
+        // Nine non-BoS entries exceed the depth limit.
+        let mut bytes = Vec::new();
+        for _ in 0..10 {
+            bytes.extend_from_slice(
+                &MplsLabel {
+                    label: 1,
+                    tc: 0,
+                    bos: false,
+                    ttl: 64,
+                }
+                .encode(),
+            );
+        }
+        assert_eq!(parse_stack(&bytes).unwrap_err(), PacketError::Malformed);
+    }
+}

@@ -1,0 +1,217 @@
+//! TCP header views and the splicing mutation.
+//!
+//! TCP splicing (Spatscheck et al., referenced by the paper) patches the
+//! sequence/acknowledgment numbers and ports of every spliced packet; the
+//! data-forwarder half of the paper's example service needs exactly these
+//! byte operations.
+
+use crate::checksum::incremental_update16;
+use crate::PacketError;
+
+/// Minimum TCP header length (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+
+    /// True if SYN is set.
+    pub fn syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+
+    /// True if ACK is set.
+    pub fn ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+
+    /// True if FIN is set.
+    pub fn fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+}
+
+/// Decoded TCP header snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Header length in bytes.
+    pub header_len: u8,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as stored.
+    pub checksum: u16,
+}
+
+impl TcpHeader {
+    /// Parses a TCP header from `bytes` (no checksum verification here —
+    /// the pseudo-header makes it a different code path, see
+    /// [`TcpHeader::write`] for construction).
+    pub fn parse(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let header_len = (bytes[12] >> 4) * 4;
+        if (header_len as usize) < TCP_HEADER_LEN {
+            return Err(PacketError::Malformed);
+        }
+        Ok(Self {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            header_len,
+            flags: TcpFlags(bytes[13]),
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+            checksum: u16::from_be_bytes([bytes[16], bytes[17]]),
+        })
+    }
+
+    /// Writes a 20-byte header. The checksum field is written as given in
+    /// `self.checksum` (callers may compute it over the pseudo-header or
+    /// leave 0 for simulation traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`TCP_HEADER_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        buf[12] = (TCP_HEADER_LEN as u8 / 4) << 4;
+        buf[13] = self.flags.0;
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        buf[18..20].copy_from_slice(&[0, 0]);
+    }
+
+    /// Applies a splice translation in place: adds `seq_delta` to the
+    /// sequence number and `ack_delta` to the acknowledgment number,
+    /// patching the TCP checksum incrementally for each changed word.
+    /// This is the per-packet work of the TCP Splicer data forwarder.
+    pub fn apply_splice(buf: &mut [u8], seq_delta: u32, ack_delta: u32) {
+        let patch_u32 = |buf: &mut [u8], off: usize, delta: u32| {
+            let old = u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
+            let new = old.wrapping_add(delta);
+            let mut sum = u16::from_be_bytes([buf[16], buf[17]]);
+            sum = incremental_update16(sum, (old >> 16) as u16, (new >> 16) as u16);
+            sum = incremental_update16(sum, old as u16, new as u16);
+            buf[off..off + 4].copy_from_slice(&new.to_be_bytes());
+            buf[16..18].copy_from_slice(&sum.to_be_bytes());
+        };
+        patch_u32(buf, 4, seq_delta);
+        patch_u32(buf, 8, ack_delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::checksum16;
+    use proptest::prelude::*;
+
+    fn sample() -> TcpHeader {
+        TcpHeader {
+            src_port: 12345,
+            dst_port: 80,
+            seq: 0x1000_0000,
+            ack: 0x2000_0000,
+            header_len: 20,
+            flags: TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
+            window: 65535,
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let h = sample();
+        let mut buf = [0u8; 20];
+        h.write(&mut buf);
+        let p = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(p.src_port, 12345);
+        assert_eq!(p.dst_port, 80);
+        assert_eq!(p.seq, h.seq);
+        assert_eq!(p.ack, h.ack);
+        assert!(p.flags.ack());
+        assert!(!p.flags.syn());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            TcpHeader::parse(&[0u8; 10]).unwrap_err(),
+            PacketError::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut buf = [0u8; 20];
+        sample().write(&mut buf);
+        buf[12] = 0x10; // Data offset 4 words < 5.
+        assert_eq!(TcpHeader::parse(&buf).unwrap_err(), PacketError::Malformed);
+    }
+
+    #[test]
+    fn flags_decode() {
+        let f = TcpFlags(TcpFlags::SYN | TcpFlags::ACK);
+        assert!(f.syn() && f.ack() && !f.fin());
+    }
+
+    #[test]
+    fn splice_shifts_seq_and_ack() {
+        let mut buf = [0u8; 20];
+        sample().write(&mut buf);
+        TcpHeader::apply_splice(&mut buf, 100, 0u32.wrapping_sub(50));
+        let p = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(p.seq, 0x1000_0000 + 100);
+        assert_eq!(p.ack, 0x2000_0000 - 50);
+    }
+
+    proptest! {
+        #[test]
+        fn splice_preserves_checksum_validity(
+            seq: u32, ack: u32, sd: u32, ad: u32, sport: u16, dport: u16,
+        ) {
+            // Build a header, give it a correct standalone checksum (over
+            // the header bytes only — a stand-in for the pseudo-header sum
+            // that exercises the same incremental algebra), splice, and
+            // verify the checksum still validates.
+            let mut h = sample();
+            h.seq = seq;
+            h.ack = ack;
+            h.src_port = sport;
+            h.dst_port = dport;
+            let mut buf = [0u8; 20];
+            h.write(&mut buf);
+            let sum = checksum16(&buf);
+            buf[16..18].copy_from_slice(&sum.to_be_bytes());
+            prop_assert_eq!(checksum16(&buf), 0);
+            TcpHeader::apply_splice(&mut buf, sd, ad);
+            prop_assert_eq!(checksum16(&buf), 0, "splice broke the checksum");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! UDP header views (used by the wavelet-video and control workloads).
+
+use crate::PacketError;
+
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// Decoded UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length (header + payload).
+    pub length: u16,
+    /// Checksum as stored (0 = unused, valid for IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Parses a UDP header from `bytes`.
+    pub fn parse(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < UDP_HEADER_LEN {
+            return Err(PacketError::Truncated);
+        }
+        let length = u16::from_be_bytes([bytes[4], bytes[5]]);
+        if (length as usize) < UDP_HEADER_LEN {
+            return Err(PacketError::Malformed);
+        }
+        Ok(Self {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            length,
+            checksum: u16::from_be_bytes([bytes[6], bytes[7]]),
+        })
+    }
+
+    /// Writes the 8-byte header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`UDP_HEADER_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader {
+            src_port: 5004,
+            dst_port: 5005,
+            length: 100,
+            checksum: 0,
+        };
+        let mut b = [0u8; 8];
+        h.write(&mut b);
+        assert_eq!(UdpHeader::parse(&b).unwrap(), h);
+    }
+
+    #[test]
+    fn short_length_rejected() {
+        let mut b = [0u8; 8];
+        UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            length: 4,
+            checksum: 0,
+        }
+        .write(&mut b);
+        assert_eq!(UdpHeader::parse(&b).unwrap_err(), PacketError::Malformed);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            UdpHeader::parse(&[0u8; 7]).unwrap_err(),
+            PacketError::Truncated
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! The fast-path route cache.
+//!
+//! "the protocol_processing step ... does perform packet classification
+//! based on the destination IP address. It does this using a one-cycle
+//! hardware hash of this address, and we assume a hit in a route cache"
+//! (paper, section 3.5.1). The cache is a direct-mapped table in SRAM
+//! mapping exact destination addresses to output ports; misses are
+//! resolved by the StrongARM via the full trie, which then installs the
+//! binding.
+
+use npr_ixp::hash48;
+
+/// One cache slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    addr: u32,
+    port: u8,
+    valid: bool,
+}
+
+/// A direct-mapped destination-address route cache.
+///
+/// # Examples
+///
+/// ```
+/// use npr_route::RouteCache;
+///
+/// let mut c = RouteCache::new(1024);
+/// assert_eq!(c.lookup(0x0a000001), None);
+/// c.install(0x0a000001, 3);
+/// assert_eq!(c.lookup(0x0a000001), Some(3));
+/// ```
+#[derive(Debug)]
+pub struct RouteCache {
+    slots: Vec<Slot>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RouteCache {
+    /// Creates a cache with `size` slots (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "zero-sized cache");
+        let size = size.next_power_of_two();
+        Self {
+            slots: vec![
+                Slot {
+                    addr: 0,
+                    port: 0,
+                    valid: false
+                };
+                size
+            ],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index(&self, addr: u32) -> usize {
+        (hash48(u64::from(addr)) as usize) & (self.slots.len() - 1)
+    }
+
+    /// Looks up `addr`; records a hit or miss.
+    pub fn lookup(&mut self, addr: u32) -> Option<u8> {
+        let i = self.index(addr);
+        let s = self.slots[i];
+        if s.valid && s.addr == addr {
+            self.hits += 1;
+            Some(s.port)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Installs or replaces the binding for `addr`.
+    pub fn install(&mut self, addr: u32, port: u8) {
+        let i = self.index(addr);
+        self.slots[i] = Slot {
+            addr,
+            port,
+            valid: true,
+        };
+    }
+
+    /// Invalidates every slot (done after a routing-table change so stale
+    /// bindings cannot be used).
+    pub fn flush(&mut self) {
+        for s in &mut self.slots {
+            s.valid = false;
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut c = RouteCache::new(64);
+        assert_eq!(c.lookup(42), None);
+        c.install(42, 7);
+        assert_eq!(c.lookup(42), Some(7));
+        assert_eq!(c.stats(), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_addresses_evict() {
+        // With a 1-slot cache every distinct address conflicts.
+        let mut c = RouteCache::new(1);
+        c.install(1, 1);
+        c.install(2, 2);
+        assert_eq!(c.lookup(1), None);
+        assert_eq!(c.lookup(2), Some(2));
+    }
+
+    #[test]
+    fn flush_invalidates_all() {
+        let mut c = RouteCache::new(16);
+        for a in 0..16u32 {
+            c.install(a, a as u8);
+        }
+        c.flush();
+        for a in 0..16u32 {
+            assert_eq!(c.lookup(a), None);
+        }
+    }
+
+    #[test]
+    fn size_rounds_to_power_of_two() {
+        let c = RouteCache::new(1000);
+        assert_eq!(c.slots.len(), 1024);
+    }
+
+    #[test]
+    fn distinct_addresses_spread() {
+        // Sequential addresses should mostly land in distinct slots.
+        let mut c = RouteCache::new(4096);
+        for a in 0..1024u32 {
+            c.install(a, (a % 251) as u8);
+        }
+        let mut hits = 0;
+        for a in 0..1024u32 {
+            if c.lookup(a) == Some((a % 251) as u8) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 850, "only {hits} survived hashing into 4096 slots");
+    }
+}

@@ -1,0 +1,23 @@
+//! `npr-route`: longest-prefix-match routing for the software router.
+//!
+//! The paper's fast path classifies by destination address through a
+//! route *cache* with a one-cycle hardware hash (section 3.5.1); misses
+//! and updates go to the slow path, which runs "the prefix matching
+//! algorithm we use [Srinivasan & Varghese]" at an average of 236 cycles
+//! per packet (section 4.4). This crate implements both:
+//!
+//! * [`PrefixTrie`]: a controlled-prefix-expansion multibit trie with
+//!   configurable strides, plus a naive linear-scan oracle used to
+//!   property-test it;
+//! * [`RouteCache`]: a direct-mapped cache of exact destination-to-port
+//!   bindings keyed by the hardware hash;
+//! * [`RoutingTable`]: the control-plane view (insert / remove /
+//!   rebuild) the OSPF-ish control forwarder mutates.
+
+pub mod cache;
+pub mod table;
+pub mod trie;
+
+pub use cache::RouteCache;
+pub use table::{NextHop, Route, RoutingTable};
+pub use trie::{PrefixTrie, TrieStats};

@@ -1,0 +1,198 @@
+//! The control-plane routing table.
+//!
+//! Wraps the prefix trie with next-hop metadata (output port + next-hop
+//! MAC, which the fast path writes into the Ethernet header) and provides
+//! the update operations a routing protocol drives. Updating the table
+//! flushes the fast-path route cache, mirroring the paper's split where
+//! "the control plane often runs compute-intensive programs, such as the
+//! shortest-path algorithm to compute a new routing table".
+
+use npr_packet::MacAddr;
+
+use crate::cache::RouteCache;
+use crate::trie::PrefixTrie;
+
+/// A next hop: which port to emit on and which MAC to address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    /// Output port index.
+    pub port: u8,
+    /// Destination MAC for the rewritten Ethernet header.
+    pub mac: MacAddr,
+}
+
+/// A route entry as installed by the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Network address (host bits zero).
+    pub addr: u32,
+    /// Prefix length.
+    pub plen: u8,
+    /// Next hop.
+    pub next_hop: NextHop,
+}
+
+/// Routing table: trie + next-hop array + fast-path cache.
+///
+/// # Examples
+///
+/// ```
+/// use npr_packet::MacAddr;
+/// use npr_route::{NextHop, RoutingTable};
+///
+/// let mut rt = RoutingTable::new(256);
+/// rt.insert(0x0a000000, 8, NextHop { port: 2, mac: MacAddr::for_port(2) });
+/// let (nh, _levels) = rt.lookup_slow(0x0a00ffff);
+/// assert_eq!(nh.unwrap().port, 2);
+/// ```
+#[derive(Debug)]
+pub struct RoutingTable {
+    trie: PrefixTrie,
+    next_hops: Vec<NextHop>,
+    cache: RouteCache,
+}
+
+impl RoutingTable {
+    /// Creates an empty table with a `cache_slots`-entry route cache.
+    pub fn new(cache_slots: usize) -> Self {
+        Self {
+            trie: PrefixTrie::ipv4_default(),
+            next_hops: Vec::new(),
+            cache: RouteCache::new(cache_slots),
+        }
+    }
+
+    /// Installs (or replaces) a route. Flushes the cache.
+    pub fn insert(&mut self, addr: u32, plen: u8, next_hop: NextHop) {
+        let idx = match self.next_hops.iter().position(|&nh| nh == next_hop) {
+            Some(i) => i,
+            None => {
+                self.next_hops.push(next_hop);
+                self.next_hops.len() - 1
+            }
+        };
+        self.trie.insert(addr, plen, idx as u32);
+        self.cache.flush();
+    }
+
+    /// Removes a route; returns `true` if present. Flushes the cache.
+    pub fn remove(&mut self, addr: u32, plen: u8) -> bool {
+        let removed = self.trie.remove(addr, plen);
+        if removed {
+            self.cache.flush();
+        }
+        removed
+    }
+
+    /// Fast-path lookup: route-cache only. `None` means the packet is
+    /// exceptional and must go to the StrongARM.
+    pub fn lookup_fast(&mut self, dst: u32) -> Option<u8> {
+        self.cache.lookup(dst)
+    }
+
+    /// Slow-path lookup via the trie: returns the next hop and the number
+    /// of trie levels touched (for cycle accounting).
+    pub fn lookup_slow(&self, dst: u32) -> (Option<NextHop>, u32) {
+        let (v, levels) = self.trie.lookup(dst);
+        (v.map(|i| self.next_hops[i as usize]), levels)
+    }
+
+    /// Slow-path lookup that also installs the result in the cache (the
+    /// StrongARM's miss handler).
+    pub fn lookup_and_fill(&mut self, dst: u32) -> (Option<NextHop>, u32) {
+        let (nh, levels) = self.lookup_slow(dst);
+        if let Some(nh) = nh {
+            self.cache.install(dst, nh.port);
+        }
+        (nh, levels)
+    }
+
+    /// Number of installed routes.
+    pub fn route_count(&self) -> usize {
+        self.trie.route_count()
+    }
+
+    /// Cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Next hop for a cached port index (fast path carries only the port;
+    /// the MAC comes from the next-hop table keyed by port).
+    pub fn mac_for_port(&self, port: u8) -> Option<MacAddr> {
+        self.next_hops
+            .iter()
+            .find(|nh| nh.port == port)
+            .map(|nh| nh.mac)
+    }
+
+    /// Mean trie levels touched per slow-path lookup so far.
+    pub fn mean_lookup_levels(&self) -> f64 {
+        self.trie.stats().mean_levels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nh(port: u8) -> NextHop {
+        NextHop {
+            port,
+            mac: MacAddr::for_port(port),
+        }
+    }
+
+    #[test]
+    fn fast_path_misses_until_filled() {
+        let mut rt = RoutingTable::new(64);
+        rt.insert(0x0a000000, 8, nh(1));
+        assert_eq!(rt.lookup_fast(0x0a000001), None);
+        let (h, _) = rt.lookup_and_fill(0x0a000001);
+        assert_eq!(h.unwrap().port, 1);
+        assert_eq!(rt.lookup_fast(0x0a000001), Some(1));
+    }
+
+    #[test]
+    fn update_flushes_cache() {
+        let mut rt = RoutingTable::new(64);
+        rt.insert(0x0a000000, 8, nh(1));
+        rt.lookup_and_fill(0x0a000001);
+        assert_eq!(rt.lookup_fast(0x0a000001), Some(1));
+        // A more specific route changes the answer; the stale cache entry
+        // must not survive.
+        rt.insert(0x0a000000, 24, nh(2));
+        assert_eq!(rt.lookup_fast(0x0a000001), None);
+        let (h, _) = rt.lookup_and_fill(0x0a000001);
+        assert_eq!(h.unwrap().port, 2);
+    }
+
+    #[test]
+    fn remove_flushes_cache() {
+        let mut rt = RoutingTable::new(64);
+        rt.insert(0x0a000000, 8, nh(1));
+        rt.lookup_and_fill(0x0a000001);
+        assert!(rt.remove(0x0a000000, 8));
+        assert_eq!(rt.lookup_fast(0x0a000001), None);
+        let (h, _) = rt.lookup_slow(0x0a000001);
+        assert!(h.is_none());
+    }
+
+    #[test]
+    fn next_hop_dedup() {
+        let mut rt = RoutingTable::new(64);
+        rt.insert(0x0a000000, 8, nh(1));
+        rt.insert(0x14000000, 8, nh(1));
+        rt.insert(0x1e000000, 8, nh(2));
+        assert_eq!(rt.next_hops.len(), 2);
+        assert_eq!(rt.route_count(), 3);
+    }
+
+    #[test]
+    fn mac_for_port_finds_binding() {
+        let mut rt = RoutingTable::new(64);
+        rt.insert(0x0a000000, 8, nh(5));
+        assert_eq!(rt.mac_for_port(5), Some(MacAddr::for_port(5)));
+        assert_eq!(rt.mac_for_port(6), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! A stable-ordered discrete-event queue.
+
+use core::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A pending event: ordering key is `(time, seq)` so that events scheduled
+/// earlier at the same timestamp are dispatched first (stable order).
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue over event type `E`.
+///
+/// The queue tracks the current simulation time: popping an event advances
+/// the clock to that event's timestamp. Scheduling an event in the past is
+/// a logic error and panics in debug builds; in release builds the event is
+/// clamped to "now" to keep the clock monotone.
+///
+/// # Examples
+///
+/// ```
+/// use npr_sim::EventQueue;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(10, "b");
+/// q.schedule(5, "a");
+/// q.schedule(10, "c"); // Same time as "b": dispatched after it.
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// assert_eq!(q.now(), 10);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `ev` at absolute time `at` (clamped to `now` if earlier).
+    pub fn schedule(&mut self, at: Time, ev: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Schedules `ev` at `now() + delay`.
+    pub fn schedule_in(&mut self, delay: Time, ev: E) {
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.ev))
+    }
+
+    /// Peeks at the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "x");
+        q.pop();
+        q.schedule_in(5, "y");
+        assert_eq!(q.pop(), Some((105, "y")));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        // Past events are clamped to now in release builds.
+        #[cfg(not(debug_assertions))]
+        {
+            q.schedule(3, ());
+            assert_eq!(q.pop(), Some((10, ())));
+        }
+        assert_eq!(q.now(), 10);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, 0);
+        q.schedule(2, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(7, ());
+        q.schedule(3, ());
+        assert_eq!(q.peek_time(), Some(3));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(7));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_stable() {
+        // Scheduling from within dispatch (the common pattern) keeps
+        // deterministic order.
+        let mut q = EventQueue::new();
+        q.schedule(0, 0u32);
+        let mut seen = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            seen.push(v);
+            if v < 5 {
+                q.schedule(t + 1, v + 1);
+                q.schedule(t + 1, v + 100);
+            }
+        }
+        assert_eq!(seen[0], 0);
+        assert_eq!(seen[1], 1);
+        assert_eq!(seen[2], 100);
+    }
+}

@@ -1,0 +1,275 @@
+//! Measurement helpers: counters with warmup-window support.
+//!
+//! The paper's experiments report steady-state forwarding rates; our
+//! harness likewise discards a warmup prefix. [`Counter`] supports taking
+//! a snapshot at the start of the measurement window and computing a rate
+//! over the window.
+
+use crate::time::{Time, PS_PER_SEC};
+
+/// A monotonically increasing event counter with a snapshot marker.
+///
+/// # Examples
+///
+/// ```
+/// use npr_sim::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(5);
+/// c.mark(1_000); // Start measurement window at t = 1000 ps.
+/// c.add(10);
+/// assert_eq!(c.since_mark(), 10);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    total: u64,
+    mark_value: u64,
+    mark_time: Time,
+}
+
+impl Counter {
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.total += 1;
+    }
+
+    /// All-time total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Marks the start of a measurement window at time `now`.
+    pub fn mark(&mut self, now: Time) {
+        self.mark_value = self.total;
+        self.mark_time = now;
+    }
+
+    /// Count accumulated since the last [`Counter::mark`].
+    pub fn since_mark(&self) -> u64 {
+        self.total - self.mark_value
+    }
+
+    /// Events per second over `[mark, now]`.
+    pub fn rate_per_sec(&self, now: Time) -> f64 {
+        let dt = now.saturating_sub(self.mark_time);
+        if dt == 0 {
+            return 0.0;
+        }
+        self.since_mark() as f64 * PS_PER_SEC as f64 / dt as f64
+    }
+}
+
+/// Converts an events-per-second rate to the paper's Mpps unit.
+pub fn to_mpps(rate_per_sec: f64) -> f64 {
+    rate_per_sec / 1e6
+}
+
+/// Converts an events-per-second rate to Kpps.
+pub fn to_kpps(rate_per_sec: f64) -> f64 {
+    rate_per_sec / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_marks() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(2);
+        assert_eq!(c.total(), 3);
+        c.mark(100);
+        assert_eq!(c.since_mark(), 0);
+        c.add(7);
+        assert_eq!(c.since_mark(), 7);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn rate_over_window() {
+        let mut c = Counter::default();
+        c.mark(0);
+        c.add(1_000);
+        // 1000 events over 1 us = 1e9 events/s.
+        let rate = c.rate_per_sec(1_000_000);
+        assert!((rate - 1e9).abs() < 1.0);
+        assert!((to_mpps(rate) - 1e3).abs() < 1e-6);
+        assert!((to_kpps(rate) - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_window_rate_is_zero() {
+        let mut c = Counter::default();
+        c.mark(50);
+        c.add(10);
+        assert_eq!(c.rate_per_sec(50), 0.0);
+    }
+}
+
+/// A log-scaled histogram for latency-like quantities: fixed memory,
+/// ~4% relative resolution, percentile queries.
+///
+/// # Examples
+///
+/// ```
+/// use npr_sim::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((450..=560).contains(&p50), "p50 {p50}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    /// 16 sub-buckets per power of two, across 64 powers.
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const SUB: usize = 16;
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; 64 * SUB],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as usize;
+        let frac = ((v >> (exp - 4)) & 0xf) as usize; // Top 4 mantissa bits.
+        exp * SUB + frac
+    }
+
+    /// Lower bound of a bucket (inverse of `index`).
+    fn lower_bound(i: usize) -> u64 {
+        let exp = i / SUB;
+        let frac = (i % SUB) as u64;
+        if exp == 0 {
+            return frac;
+        }
+        (1u64 << exp) | (frac << (exp - 4).max(0))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate value at percentile `p` (0..=100).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * (p / 100.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::lower_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(777);
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!((720..=777).contains(&v), "p{p} = {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 1_000_000);
+        }
+        let mut last = 0;
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p} {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn resolution_is_within_7_percent() {
+        let mut h = LogHistogram::new();
+        for _ in 0..1000 {
+            h.record(123_456);
+        }
+        let v = h.percentile(50.0) as f64;
+        assert!((v - 123_456.0).abs() / 123_456.0 < 0.07, "{v}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+}

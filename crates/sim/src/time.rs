@@ -1,0 +1,67 @@
+//! Simulation time base.
+//!
+//! All simulation time is kept in picoseconds as a `u64`. The IXP1200
+//! MicroEngines and StrongARM run at 200 MHz (5 ns = 5000 ps per cycle);
+//! the host Pentium III runs at 733 MHz. Using a common picosecond base
+//! lets the three clock domains share one event queue without rounding
+//! drift inside a domain.
+
+/// Simulation time in picoseconds.
+pub type Time = u64;
+
+/// Picoseconds per second.
+pub const PS_PER_SEC: Time = 1_000_000_000_000;
+
+/// MicroEngine / StrongARM clock rate (the paper's boards run at a
+/// nominal 200 MHz; the actual 199.066 MHz is noted in the paper but all
+/// of its arithmetic uses 200 MHz, and so do we).
+pub const ME_HZ: u64 = 200_000_000;
+
+/// Pentium III clock rate (733 MHz).
+pub const PENTIUM_HZ: u64 = 733_000_000;
+
+/// Picoseconds per MicroEngine (and StrongARM) cycle: 5 ns.
+pub const PS_PER_ME_CYCLE: Time = PS_PER_SEC / ME_HZ;
+
+/// Picoseconds per Pentium cycle (733 MHz does not divide evenly; the
+/// ~0.03% truncation error is far below model fidelity).
+pub const PS_PER_PENTIUM_CYCLE: Time = PS_PER_SEC / PENTIUM_HZ;
+
+/// Converts a MicroEngine cycle count to picoseconds.
+#[inline]
+pub const fn cycles_to_ps(cycles: u64) -> Time {
+    cycles * PS_PER_ME_CYCLE
+}
+
+/// Converts picoseconds to whole MicroEngine cycles (rounding down).
+#[inline]
+pub const fn ps_to_cycles(ps: Time) -> u64 {
+    ps / PS_PER_ME_CYCLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn me_cycle_is_5ns() {
+        assert_eq!(PS_PER_ME_CYCLE, 5_000);
+    }
+
+    #[test]
+    fn pentium_cycle_is_about_1364ps() {
+        assert_eq!(PS_PER_PENTIUM_CYCLE, 1_364);
+    }
+
+    #[test]
+    fn cycle_conversions_round_trip() {
+        for c in [0u64, 1, 7, 171, 100_000] {
+            assert_eq!(ps_to_cycles(cycles_to_ps(c)), c);
+        }
+    }
+
+    #[test]
+    fn one_second_of_me_cycles() {
+        assert_eq!(cycles_to_ps(ME_HZ), PS_PER_SEC);
+    }
+}

@@ -1,0 +1,159 @@
+//! Frame builders with valid headers and checksums.
+
+use npr_packet::{
+    EtherType, EthernetFrame, Ipv4Header, Ipv4Proto, MacAddr, MplsLabel, TcpFlags, TcpHeader,
+    UdpHeader, MIN_FRAME_LEN,
+};
+
+/// Parameters of a synthesized frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameSpec {
+    /// Frame length in bytes (floored at the Ethernet minimum).
+    pub len: usize,
+    /// IPv4 source.
+    pub src: u32,
+    /// IPv4 destination.
+    pub dst: u32,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// TTL.
+    pub ttl: u8,
+}
+
+impl Default for FrameSpec {
+    fn default() -> Self {
+        Self {
+            len: 60,
+            src: u32::from_be_bytes([10, 0, 0, 2]),
+            dst: u32::from_be_bytes([10, 1, 0, 1]),
+            sport: 5000,
+            dport: 5001,
+            ttl: 64,
+        }
+    }
+}
+
+fn base(spec: &FrameSpec, proto: Ipv4Proto) -> Vec<u8> {
+    let len = spec.len.max(MIN_FRAME_LEN);
+    let mut f = vec![0u8; len];
+    EthernetFrame::write_header(
+        &mut f,
+        MacAddr::BROADCAST,
+        MacAddr([0x02, 0, 0, 0, 0, 1]),
+        EtherType::Ipv4,
+    );
+    Ipv4Header {
+        header_len: 20,
+        dscp_ecn: 0,
+        total_len: (len - 14) as u16,
+        ident: 7,
+        flags_frag: 0x4000,
+        ttl: spec.ttl,
+        proto,
+        checksum: 0,
+        src: spec.src,
+        dst: spec.dst,
+    }
+    .write(&mut f[14..]);
+    f
+}
+
+/// Builds a UDP frame per `spec`, with `payload` copied in after the
+/// UDP header (truncated to fit).
+pub fn udp_frame(spec: &FrameSpec, payload: &[u8]) -> Vec<u8> {
+    let mut f = base(spec, Ipv4Proto::Udp);
+    let udp_len = f.len() - 34;
+    UdpHeader {
+        src_port: spec.sport,
+        dst_port: spec.dport,
+        length: udp_len as u16,
+        checksum: 0,
+    }
+    .write(&mut f[34..]);
+    let n = payload.len().min(f.len() - 42);
+    f[42..42 + n].copy_from_slice(&payload[..n]);
+    f
+}
+
+/// Builds a TCP frame per `spec` with the given flags/seq/ack.
+pub fn tcp_frame(spec: &FrameSpec, flags: u8, seq: u32, ack: u32) -> Vec<u8> {
+    let mut f = base(spec, Ipv4Proto::Tcp);
+    TcpHeader {
+        src_port: spec.sport,
+        dst_port: spec.dport,
+        seq,
+        ack,
+        header_len: 20,
+        flags: TcpFlags(flags),
+        window: 65535,
+        checksum: 0,
+    }
+    .write(&mut f[34..]);
+    f
+}
+
+/// Builds an MPLS frame: a single bottom-of-stack label over an opaque
+/// payload.
+pub fn mpls_frame(label: u32, tc: u8, ttl: u8, len: usize) -> Vec<u8> {
+    let len = len.max(MIN_FRAME_LEN);
+    let mut f = vec![0u8; len];
+    EthernetFrame::write_header(
+        &mut f,
+        MacAddr::BROADCAST,
+        MacAddr([0x02, 0, 0, 0, 0, 1]),
+        EtherType::Mpls,
+    );
+    MplsLabel {
+        label,
+        tc,
+        bos: true,
+        ttl,
+    }
+    .write(&mut f[14..]);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_frame_has_valid_headers() {
+        let f = udp_frame(&FrameSpec::default(), b"hi");
+        let eth = EthernetFrame::parse(&f).unwrap();
+        let ip = Ipv4Header::parse(eth.payload()).unwrap();
+        assert_eq!(ip.proto, Ipv4Proto::Udp);
+        assert_eq!(f[42..44], *b"hi");
+        assert_eq!(f.len(), 60);
+    }
+
+    #[test]
+    fn tcp_frame_carries_flags() {
+        let f = tcp_frame(&FrameSpec::default(), TcpFlags::SYN, 99, 0);
+        let t = TcpHeader::parse(&f[34..]).unwrap();
+        assert!(t.flags.syn());
+        assert_eq!(t.seq, 99);
+    }
+
+    #[test]
+    fn mpls_frame_has_label() {
+        let f = mpls_frame(42, 1, 64, 60);
+        let l = MplsLabel::parse(&f[14..]).unwrap();
+        assert_eq!(l.label, 42);
+        assert!(l.bos);
+    }
+
+    #[test]
+    fn length_is_floored_at_minimum() {
+        let f = udp_frame(
+            &FrameSpec {
+                len: 10,
+                ..Default::default()
+            },
+            &[],
+        );
+        assert_eq!(f.len(), MIN_FRAME_LEN);
+    }
+}

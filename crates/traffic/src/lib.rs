@@ -1,0 +1,16 @@
+//! `npr-traffic`: workload generation for the router experiments.
+//!
+//! The paper's testbed drove the router with Kingston tulip NICs at 95%
+//! of theoretical line rate (141 Kpps of 64-byte packets per 100 Mbps
+//! port); the robustness experiments add floods of exceptional/control
+//! packets and per-flow TCP traffic for the monitor forwarders. This
+//! crate provides deterministic [`npr_ixp::TrafficSource`] implementations for
+//! all of those shapes, plus frame builders.
+
+pub mod build;
+pub mod sources;
+
+pub use build::{mpls_frame, tcp_frame, udp_frame, FrameSpec};
+pub use sources::{
+    CbrSource, MixSource, PoissonSource, SynFloodSource, TcpFlowSource, TraceSource,
+};

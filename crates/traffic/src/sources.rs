@@ -1,0 +1,296 @@
+//! Traffic sources.
+
+use npr_ixp::TrafficSource;
+use npr_packet::{Frame, TcpFlags};
+use npr_sim::{Time, XorShift64, PS_PER_SEC};
+
+use crate::build::{tcp_frame, udp_frame, FrameSpec};
+
+/// Wire overhead assumed when converting a rate fraction to packets
+/// per second (preamble + IFG + FCS).
+const WIRE_OVERHEAD: usize = 24;
+
+/// Constant-bit-rate source: `fraction` of `line_bps`, fixed-size
+/// frames. At `fraction = 0.95` and 60-byte frames on 100 Mbps this is
+/// the paper's 141 Kpps tulip source.
+pub struct CbrSource {
+    interval_ps: Time,
+    next_at: Time,
+    frame: Frame,
+    remaining: u64,
+}
+
+impl CbrSource {
+    /// Creates the source; `remaining` bounds the stream length.
+    pub fn new(line_bps: u64, fraction: f64, spec: FrameSpec, remaining: u64) -> Self {
+        let wire_bits = ((spec.len.max(60) + WIRE_OVERHEAD) * 8) as f64;
+        let pps = line_bps as f64 * fraction / wire_bits;
+        Self {
+            interval_ps: (PS_PER_SEC as f64 / pps) as Time,
+            next_at: 0,
+            frame: udp_frame(&spec, &[]),
+            remaining,
+        }
+    }
+
+    /// Packets per second this source offers.
+    pub fn pps(&self) -> f64 {
+        PS_PER_SEC as f64 / self.interval_ps as f64
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let t = self.next_at;
+        self.next_at += self.interval_ps;
+        Some((t, self.frame.clone()))
+    }
+}
+
+/// Poisson-arrival source with a fixed frame.
+pub struct PoissonSource {
+    mean_interval_ps: f64,
+    next_at: Time,
+    frame: Frame,
+    rng: XorShift64,
+    remaining: u64,
+}
+
+impl PoissonSource {
+    /// Creates a source with `pps` mean rate.
+    pub fn new(pps: f64, spec: FrameSpec, seed: u64, remaining: u64) -> Self {
+        Self {
+            mean_interval_ps: PS_PER_SEC as f64 / pps,
+            next_at: 0,
+            frame: udp_frame(&spec, &[]),
+            rng: XorShift64::new(seed),
+            remaining,
+        }
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let u = self.rng.next_f64().max(1e-12);
+        self.next_at += (-u.ln() * self.mean_interval_ps) as Time;
+        Some((self.next_at, self.frame.clone()))
+    }
+}
+
+/// A single TCP conversation: SYN, SYN-ACK-ish ACK, then data/ACK
+/// pairs — the pattern the SYN/ACK monitors watch. (One direction of
+/// the conversation as seen by the router.)
+pub struct TcpFlowSource {
+    spec: FrameSpec,
+    interval_ps: Time,
+    next_at: Time,
+    seq: u32,
+    sent: u64,
+    total: u64,
+    /// Send a duplicate ACK every `dup_every` packets (0 = never).
+    dup_every: u64,
+}
+
+impl TcpFlowSource {
+    /// Creates a flow of `total` segments at `pps`.
+    pub fn new(spec: FrameSpec, pps: f64, total: u64, dup_every: u64) -> Self {
+        Self {
+            spec,
+            interval_ps: (PS_PER_SEC as f64 / pps) as Time,
+            next_at: 0,
+            seq: 0x1000,
+            sent: 0,
+            total,
+            dup_every,
+        }
+    }
+}
+
+impl TrafficSource for TcpFlowSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        if self.sent >= self.total {
+            return None;
+        }
+        let t = self.next_at;
+        self.next_at += self.interval_ps;
+        let n = self.sent;
+        self.sent += 1;
+        let frame = if n == 0 {
+            tcp_frame(&self.spec, TcpFlags::SYN, self.seq, 0)
+        } else {
+            let dup = self.dup_every > 0 && n.is_multiple_of(self.dup_every);
+            if !dup {
+                self.seq = self.seq.wrapping_add(512);
+            }
+            tcp_frame(&self.spec, TcpFlags::ACK, self.seq, 0x8000 + n as u32)
+        };
+        Some((t, frame))
+    }
+}
+
+/// SYN flood: SYNs from pseudo-random spoofed sources at `pps`.
+pub struct SynFloodSource {
+    spec: FrameSpec,
+    interval_ps: Time,
+    next_at: Time,
+    rng: XorShift64,
+    remaining: u64,
+}
+
+impl SynFloodSource {
+    /// Creates the flood.
+    pub fn new(spec: FrameSpec, pps: f64, seed: u64, remaining: u64) -> Self {
+        Self {
+            spec,
+            interval_ps: (PS_PER_SEC as f64 / pps) as Time,
+            next_at: 0,
+            rng: XorShift64::new(seed),
+            remaining,
+        }
+    }
+}
+
+impl TrafficSource for SynFloodSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let t = self.next_at;
+        self.next_at += self.interval_ps;
+        let mut spec = self.spec;
+        spec.src = self.rng.next_u32();
+        spec.sport = (self.rng.below(60000) + 1024) as u16;
+        Some((t, tcp_frame(&spec, TcpFlags::SYN, self.rng.next_u32(), 0)))
+    }
+}
+
+/// Interleaves several sources by timestamp (merge by next arrival).
+pub struct MixSource {
+    sources: Vec<Box<dyn TrafficSource>>,
+    pending: Vec<Option<(Time, Frame)>>,
+}
+
+impl MixSource {
+    /// Creates a merged source.
+    pub fn new(sources: Vec<Box<dyn TrafficSource>>) -> Self {
+        let n = sources.len();
+        Self {
+            sources,
+            pending: (0..n).map(|_| None).collect(),
+        }
+    }
+}
+
+impl TrafficSource for MixSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        for (i, p) in self.pending.iter_mut().enumerate() {
+            if p.is_none() {
+                *p = self.sources[i].next_frame();
+            }
+        }
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|&(t, _)| (t, i)))
+            .min_by_key(|&(t, _)| t)?;
+        self.pending[best.1].take()
+    }
+}
+
+/// Replays an explicit list of `(time, frame)` pairs.
+pub struct TraceSource {
+    items: std::vec::IntoIter<(Time, Frame)>,
+}
+
+impl TraceSource {
+    /// Creates the replay source (items must be time-sorted).
+    pub fn new(items: Vec<(Time, Frame)>) -> Self {
+        Self {
+            items: items.into_iter(),
+        }
+    }
+}
+
+impl TrafficSource for TraceSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        self.items.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_matches_paper_rate() {
+        // 95% of 100 Mbps with 64-byte (60 + FCS) frames = 141 Kpps.
+        let s = CbrSource::new(100_000_000, 0.95, FrameSpec::default(), 10);
+        assert!((s.pps() - 141_369.0).abs() < 100.0, "pps {}", s.pps());
+    }
+
+    #[test]
+    fn cbr_is_evenly_spaced_and_bounded() {
+        let mut s = CbrSource::new(100_000_000, 1.0, FrameSpec::default(), 3);
+        let t0 = s.next_frame().unwrap().0;
+        let t1 = s.next_frame().unwrap().0;
+        let t2 = s.next_frame().unwrap().0;
+        assert_eq!(t1 - t0, t2 - t1);
+        assert!(s.next_frame().is_none());
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let mut s = PoissonSource::new(1e6, FrameSpec::default(), 42, 50_000);
+        let mut last = 0;
+        let mut n = 0u64;
+        while let Some((t, _)) = s.next_frame() {
+            last = t;
+            n += 1;
+        }
+        let rate = n as f64 * PS_PER_SEC as f64 / last as f64;
+        assert!((rate / 1e6 - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn tcp_flow_starts_with_syn_and_dups_acks() {
+        let mut s = TcpFlowSource::new(FrameSpec::default(), 1e6, 5, 2);
+        let (_, syn) = s.next_frame().unwrap();
+        assert_eq!(syn[47] & TcpFlags::SYN, TcpFlags::SYN);
+        let mut seqs = Vec::new();
+        while let Some((_, f)) = s.next_frame() {
+            seqs.push(u32::from_be_bytes([f[38], f[39], f[40], f[41]]));
+        }
+        // Every second data packet repeats the sequence number.
+        assert_eq!(seqs.len(), 4);
+        assert_eq!(seqs[0], seqs[1]);
+    }
+
+    #[test]
+    fn syn_flood_spoofs_sources() {
+        let mut s = SynFloodSource::new(FrameSpec::default(), 1e6, 7, 100);
+        let mut srcs = std::collections::HashSet::new();
+        while let Some((_, f)) = s.next_frame() {
+            srcs.insert(u32::from_be_bytes([f[26], f[27], f[28], f[29]]));
+        }
+        assert!(srcs.len() > 90);
+    }
+
+    #[test]
+    fn mix_merges_in_time_order() {
+        let a = TraceSource::new(vec![(10, vec![1u8; 60]), (30, vec![1; 60])]);
+        let b = TraceSource::new(vec![(20, vec![2u8; 60])]);
+        let mut m = MixSource::new(vec![Box::new(a), Box::new(b)]);
+        let order: Vec<Time> = std::iter::from_fn(|| m.next_frame().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,325 @@
+//! A tiny assembler for VRP programs.
+//!
+//! Provides forward labels (the only kind the ISA permits) with
+//! bind-time patching, so forwarders read naturally:
+//!
+//! ```
+//! use npr_vrp::{Asm, Cond, Src};
+//!
+//! let mut a = Asm::new("drop-port-80");
+//! a.ldh(0, 36);                                  // R0 = TCP dst port.
+//! let keep = a.new_label();
+//! a.br_cond(Cond::Ne, 0, Src::Imm(80), keep);
+//! a.drop();
+//! a.bind(keep);
+//! a.done();
+//! let prog = a.finish(0).unwrap();
+//! assert_eq!(prog.insns.len(), 4);
+//! ```
+
+use crate::isa::{AluOp, Cond, Insn, Src, VrpProgram, MAX_STATE_BYTES};
+
+/// A forward label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(usize),
+    /// A label was bound at or before a site that references it
+    /// (backward branch).
+    BackwardLabel(usize),
+    /// Declared state exceeds the 96-byte VRP limit.
+    StateTooLarge(usize),
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l} never bound"),
+            AsmError::BackwardLabel(l) => write!(f, "label {l} bound backward"),
+            AsmError::StateTooLarge(n) => write!(f, "{n} bytes of state exceeds 96"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The assembler.
+#[derive(Debug)]
+pub struct Asm {
+    name: String,
+    insns: Vec<Insn>,
+    // (label id, insn index that references it).
+    patches: Vec<(usize, usize)>,
+    bound: Vec<Option<u16>>,
+}
+
+impl Asm {
+    /// Starts a program named `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            insns: Vec::new(),
+            patches: Vec::new(),
+            bound: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh (unbound) label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction's index.
+    pub fn bind(&mut self, label: Label) {
+        self.bound[label.0] = Some(self.insns.len() as u16);
+    }
+
+    /// Current instruction count (useful for cost eyeballing).
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True if no instructions were emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    // --- Instruction emitters ---
+
+    /// `dst = val`.
+    pub fn imm(&mut self, dst: u8, val: u32) -> &mut Self {
+        self.insns.push(Insn::Imm { dst, val });
+        self
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: u8, src: u8) -> &mut Self {
+        self.insns.push(Insn::Mov { dst, src });
+        self
+    }
+
+    /// `dst = a <op> b`.
+    pub fn alu(&mut self, op: AluOp, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.insns.push(Insn::Alu { op, dst, a, b });
+        self
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.alu(AluOp::Add, dst, a, b)
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.alu(AluOp::Sub, dst, a, b)
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.alu(AluOp::And, dst, a, b)
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.alu(AluOp::Or, dst, a, b)
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.alu(AluOp::Xor, dst, a, b)
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.alu(AluOp::Shl, dst, a, b)
+    }
+
+    /// `dst = a >> b`.
+    pub fn shr(&mut self, dst: u8, a: u8, b: Src) -> &mut Self {
+        self.alu(AluOp::Shr, dst, a, b)
+    }
+
+    /// Load byte from MP.
+    pub fn ldb(&mut self, dst: u8, off: u8) -> &mut Self {
+        self.insns.push(Insn::LdB { dst, off });
+        self
+    }
+
+    /// Load big-endian half from MP.
+    pub fn ldh(&mut self, dst: u8, off: u8) -> &mut Self {
+        self.insns.push(Insn::LdH { dst, off });
+        self
+    }
+
+    /// Load big-endian word from MP.
+    pub fn ldw(&mut self, dst: u8, off: u8) -> &mut Self {
+        self.insns.push(Insn::LdW { dst, off });
+        self
+    }
+
+    /// Store byte to MP.
+    pub fn stb(&mut self, off: u8, src: u8) -> &mut Self {
+        self.insns.push(Insn::StB { off, src });
+        self
+    }
+
+    /// Store half to MP.
+    pub fn sth(&mut self, off: u8, src: u8) -> &mut Self {
+        self.insns.push(Insn::StH { off, src });
+        self
+    }
+
+    /// Store word to MP.
+    pub fn stw(&mut self, off: u8, src: u8) -> &mut Self {
+        self.insns.push(Insn::StW { off, src });
+        self
+    }
+
+    /// Read 4 bytes of flow state.
+    pub fn sram_rd(&mut self, dst: u8, off: u8) -> &mut Self {
+        self.insns.push(Insn::SramRd { dst, off });
+        self
+    }
+
+    /// Write 4 bytes of flow state.
+    pub fn sram_wr(&mut self, off: u8, src: u8) -> &mut Self {
+        self.insns.push(Insn::SramWr { off, src });
+        self
+    }
+
+    /// Hardware hash.
+    pub fn hash(&mut self, dst: u8, src: u8) -> &mut Self {
+        self.insns.push(Insn::Hash { dst, src });
+        self
+    }
+
+    /// Unconditional forward branch to `label`.
+    pub fn br(&mut self, label: Label) -> &mut Self {
+        self.patches.push((label.0, self.insns.len()));
+        self.insns.push(Insn::Br { target: u16::MAX });
+        self
+    }
+
+    /// Conditional forward branch.
+    pub fn br_cond(&mut self, cond: Cond, a: u8, b: Src, label: Label) -> &mut Self {
+        self.patches.push((label.0, self.insns.len()));
+        self.insns.push(Insn::BrCond {
+            cond,
+            a,
+            b,
+            target: u16::MAX,
+        });
+        self
+    }
+
+    /// Select output queue.
+    pub fn set_queue(&mut self, q: Src) -> &mut Self {
+        self.insns.push(Insn::SetQueue { q });
+        self
+    }
+
+    /// Drop the packet.
+    pub fn drop(&mut self) -> &mut Self {
+        self.insns.push(Insn::Drop);
+        self
+    }
+
+    /// Escalate to the StrongARM.
+    pub fn to_sa(&mut self) -> &mut Self {
+        self.insns.push(Insn::ToSa);
+        self
+    }
+
+    /// Escalate to the Pentium.
+    pub fn to_pe(&mut self) -> &mut Self {
+        self.insns.push(Insn::ToPe);
+        self
+    }
+
+    /// Finish normally.
+    pub fn done(&mut self) -> &mut Self {
+        self.insns.push(Insn::Done);
+        self
+    }
+
+    /// Resolves labels and produces the program with `state_bytes` of
+    /// declared flow state.
+    pub fn finish(mut self, state_bytes: usize) -> Result<VrpProgram, AsmError> {
+        if state_bytes > MAX_STATE_BYTES {
+            return Err(AsmError::StateTooLarge(state_bytes));
+        }
+        for &(label, site) in &self.patches {
+            let Some(target) = self.bound[label] else {
+                return Err(AsmError::UnboundLabel(label));
+            };
+            if usize::from(target) <= site {
+                return Err(AsmError::BackwardLabel(label));
+            }
+            match &mut self.insns[site] {
+                Insn::Br { target: t } | Insn::BrCond { target: t, .. } => *t = target,
+                _ => unreachable!("patch site is always a branch"),
+            }
+        }
+        Ok(VrpProgram {
+            name: self.name,
+            insns: self.insns,
+            state_bytes: state_bytes as u8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_patch_forward() {
+        let mut a = Asm::new("t");
+        let l = a.new_label();
+        a.br(l);
+        a.drop();
+        a.bind(l);
+        a.done();
+        let p = a.finish(0).unwrap();
+        assert_eq!(p.insns[0], Insn::Br { target: 2 });
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new("t");
+        let l = a.new_label();
+        a.br(l);
+        assert_eq!(a.finish(0).unwrap_err(), AsmError::UnboundLabel(0));
+    }
+
+    #[test]
+    fn backward_label_errors() {
+        let mut a = Asm::new("t");
+        let l = a.new_label();
+        a.bind(l);
+        a.done();
+        a.br(l);
+        assert_eq!(a.finish(0).unwrap_err(), AsmError::BackwardLabel(0));
+    }
+
+    #[test]
+    fn oversized_state_errors() {
+        let a = Asm::new("t");
+        assert_eq!(a.finish(200).unwrap_err(), AsmError::StateTooLarge(200));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut a = Asm::new("t");
+        a.imm(0, 5).add(1, 0, Src::Imm(2)).sram_wr(0, 1).done();
+        let p = a.finish(4).unwrap();
+        assert_eq!(p.insns.len(), 4);
+        assert_eq!(p.state_bytes, 4);
+        assert_eq!(p.istore_slots(), 4);
+    }
+}

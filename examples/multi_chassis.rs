@@ -1,0 +1,69 @@
+//! The paper's future-work configuration, built: four Pentium/IXP pairs
+//! behind a gigabit switch, forwarding across chassis with no loss.
+//!
+//! ```text
+//! cargo run --release --example multi_chassis
+//! ```
+
+use npr_core::{ms, Fabric, RouterConfig};
+use npr_traffic::{CbrSource, FrameSpec};
+
+fn main() {
+    let mut fabric = Fabric::new(4, RouterConfig::line_rate());
+
+    // Every member's external port 0 receives a 90%-line-rate stream
+    // addressed to the *next* member's subnets — all of it must cross
+    // the internal gigabit links.
+    for k in 0..4usize {
+        let dst_net = (((k + 1) % 4) * 8 + 2) as u8;
+        fabric.members[k].attach_source(
+            0,
+            Box::new(CbrSource::new(
+                100_000_000,
+                0.9,
+                FrameSpec {
+                    dst: u32::from_be_bytes([10, dst_net, 0, 1]),
+                    ..Default::default()
+                },
+                4_000,
+            )),
+        );
+        // Plus a local stream that must never touch the switch.
+        fabric.members[k].attach_source(
+            1,
+            Box::new(CbrSource::new(
+                100_000_000,
+                0.5,
+                FrameSpec {
+                    dst: u32::from_be_bytes([10, (k * 8 + 5) as u8, 0, 1]),
+                    ..Default::default()
+                },
+                2_000,
+            )),
+        );
+    }
+
+    fabric.run_until(ms(60), 0);
+
+    println!("=== 4-chassis fabric ===");
+    println!("frames switched between chassis : {}", fabric.switched);
+    println!(
+        "frames delivered on external ports: {}",
+        fabric.external_tx()
+    );
+    println!(
+        "drops anywhere                   : {}",
+        fabric.total_drops()
+    );
+    for (k, m) in fabric.members.iter().enumerate() {
+        let up = &m.ixp.hw.ports[npr_core::fabric::UPLINK_PORT];
+        println!(
+            "member {k}: uplink tx {} rx {} frames",
+            up.tx_frames, up.rx_frames
+        );
+    }
+    assert_eq!(fabric.switched, 16_000);
+    assert_eq!(fabric.external_tx(), 24_000);
+    assert_eq!(fabric.total_drops(), 0);
+    println!("OK: cross-chassis forwarding at line rate with zero loss.");
+}

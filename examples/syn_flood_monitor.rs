@@ -1,0 +1,92 @@
+//! SYN-flood detection: the paper's monitor pattern (section 4.4).
+//!
+//! A *data forwarder* (the SYN Monitor bytecode) counts SYNs on the
+//! MicroEngines at line rate; the *control* side reads the shared flow
+//! state through `getdata`, detects the attack, and responds by
+//! installing a Port Filter in the data plane — all without ever
+//! slowing the fast path.
+//!
+//! ```text
+//! cargo run --release --example syn_flood_monitor
+//! ```
+
+use npr_core::{ms, InstallRequest, Key, Router, RouterConfig};
+use npr_forwarders::{port_filter, syn_monitor};
+use npr_traffic::{CbrSource, FrameSpec, MixSource, SynFloodSource};
+
+fn main() {
+    let mut router = Router::new(RouterConfig::line_rate());
+
+    // Install the SYN Monitor as a general forwarder: it sees every
+    // packet (admission control verifies it fits the VRP budget).
+    let monitor = router
+        .install(
+            Key::All,
+            InstallRequest::Me {
+                prog: syn_monitor(),
+            },
+            None,
+        )
+        .expect("monitor fits the VRP budget");
+    println!("installed SYN monitor as fid {monitor}");
+
+    // Port 0 carries a benign UDP load plus a 40 Kpps SYN flood toward
+    // 10.1.0.1:80.
+    let benign = CbrSource::new(
+        100_000_000,
+        0.5,
+        FrameSpec {
+            dst: u32::from_be_bytes([10, 1, 0, 1]),
+            ..Default::default()
+        },
+        u64::MAX,
+    );
+    let flood = SynFloodSource::new(
+        FrameSpec {
+            dst: u32::from_be_bytes([10, 1, 0, 1]),
+            dport: 80,
+            ..Default::default()
+        },
+        40_000.0,
+        1,
+        u64::MAX,
+    );
+    router.attach_source(
+        0,
+        Box::new(MixSource::new(vec![Box::new(benign), Box::new(flood)])),
+    );
+
+    // Run 20 ms and poll the monitor's counter, as the control
+    // forwarder would.
+    router.run_until(ms(20));
+    let state = router.getdata(monitor).expect("state readable");
+    let syns = u32::from_be_bytes(state[0..4].try_into().unwrap());
+    let rate_kpps = syns as f64 / 20e-3 / 1e3;
+    println!("SYN rate over 20 ms: {rate_kpps:.1} Kpps ({syns} SYNs)");
+    assert!(rate_kpps > 30.0, "flood visible in the data plane");
+
+    // Control response: drop traffic to port 80 with the Port Filter.
+    let filter = router
+        .install(
+            Key::All,
+            InstallRequest::Me {
+                prog: port_filter(),
+            },
+            None,
+        )
+        .expect("filter fits alongside the monitor");
+    router
+        .setdata(filter, &((80u32 << 16) | 80).to_be_bytes())
+        .expect("configure range 80..=80");
+    println!("installed port filter (fid {filter}) for dport 80");
+
+    // Reset the SYN counter and observe the flood die.
+    router.setdata(monitor, &[0u8; 4]).unwrap();
+    router.run_until(ms(40));
+    let state = router.getdata(monitor).unwrap();
+    let syns_after = u32::from_be_bytes(state[0..4].try_into().unwrap());
+    println!("SYNs seen in the next 20 ms: {syns_after} (filter drops them before the monitor? No — monitor runs first, so it still counts; the *output* is protected)");
+    let report = router.report();
+    println!("VRP drops in window: {}", report.vrp_drops);
+    println!("OK: detection and response ran entirely through install/getdata/setdata.");
+}

@@ -1,0 +1,67 @@
+//! Operator workflow: disassemble a forwarder, install it, trace a
+//! packet's full journey through the processor hierarchy, and read the
+//! latency distribution.
+//!
+//! ```text
+//! cargo run --release --example trace_debug
+//! ```
+
+use npr_core::{ms, InstallRequest, Key, Router, RouterConfig};
+use npr_forwarders::ip_minimal;
+use npr_traffic::{CbrSource, FrameSpec};
+use npr_vrp::disasm;
+
+fn main() {
+    // 1. Inspect the forwarder the way admission control does.
+    let prog = ip_minimal();
+    println!("{}", disasm(&prog));
+
+    // 2. Install it and bind its route entry (MACs, queue, MTU).
+    let mut router = Router::new(RouterConfig::line_rate());
+    let fid = router
+        .install(Key::All, InstallRequest::Me { prog }, None)
+        .expect("admitted");
+    let mut state = [0u8; 24];
+    state[0..6].copy_from_slice(&[0x02, 0, 0, 0, 0, 3]);
+    state[6..12].copy_from_slice(&[0x02, 0xee, 0, 0, 0, 0]);
+    state[12..16].copy_from_slice(&3u32.to_be_bytes());
+    state[20..24].copy_from_slice(&1514u32.to_be_bytes());
+    router.setdata(fid, &state).unwrap();
+
+    for (f, name, lvl, slots) in router.installed() {
+        println!("installed: fid {f} \"{name}\" on {lvl:?} ({slots} ISTORE slots)\n");
+    }
+
+    // 3. Arm the tracer and run traffic.
+    let dst = u32::from_be_bytes([10, 3, 0, 42]);
+    router.trace_destination(dst, 32);
+    router.attach_source(
+        0,
+        Box::new(CbrSource::new(
+            100_000_000,
+            0.9,
+            FrameSpec {
+                dst,
+                ..Default::default()
+            },
+            u64::MAX,
+        )),
+    );
+    let report = router.measure(ms(1), ms(10));
+
+    // 4. Read the journey and the distribution.
+    println!("trace of the first packets to 10.3.0.42:");
+    print!("{}", router.trace().render());
+    println!();
+    println!(
+        "latency: mean {:.2} us, p50 {:.2} us, p99 {:.2} us, max {:.2} us",
+        report.latency_avg_us,
+        report.latency_p50_us,
+        report.latency_p99_us,
+        report.latency_max_us
+    );
+    assert!(!router.trace().events.is_empty());
+    assert!(report.latency_p50_us > 0.0);
+    assert!(report.latency_p99_us >= report.latency_p50_us);
+    println!("OK: full observability with zero cost when disarmed.");
+}

@@ -1,0 +1,117 @@
+//! MPLS label switching end to end: the paper's claim that the
+//! infrastructure "applies equally well" to a virtual-circuit switch.
+
+use npr_core::{ms, InstallRequest, Key, Router, RouterConfig};
+use npr_forwarders::{encode_entry, mpls_swap};
+use npr_packet::MplsLabel;
+use npr_traffic::{mpls_frame, TraceSource};
+
+fn lsr_with_entries(entries: &[(u32, u32, u32)]) -> (Router, npr_core::Fid) {
+    let mut r = Router::new(RouterConfig::line_rate());
+    let fid = r
+        .install(Key::All, InstallRequest::Me { prog: mpls_swap() }, None)
+        .expect("swap forwarder admitted");
+    let mut state = vec![0u8; 32];
+    for (i, &(inl, outl, q)) in entries.iter().enumerate() {
+        encode_entry(&mut state, i as u8, inl, outl, q);
+    }
+    r.setdata(fid, &state).unwrap();
+    (r, fid)
+}
+
+#[test]
+fn labels_are_swapped_and_switched_to_the_bound_port() {
+    // Label 42 -> label 777, queue 5 (= port 5 with one queue/port).
+    let (mut r, _) = lsr_with_entries(&[(42, 777, 5)]);
+    let frames: Vec<_> = (0..50u64)
+        .map(|i| (i * 20_000_000, mpls_frame(42, 2, 64, 60)))
+        .collect();
+    r.attach_source(0, Box::new(TraceSource::new(frames)));
+    r.run_until(ms(5));
+    assert_eq!(r.ixp.hw.ports[5].tx_frames, 50, "all LSP traffic on port 5");
+    // The transmitted bytes carry the swapped label with decremented TTL.
+    let mut verified = 0;
+    for idx in 0..64u32 {
+        if let Some(b) = r
+            .world
+            .pool
+            .read(npr_packet::BufferHandle::from_descriptor(idx))
+        {
+            if b.len() >= 18 && b[12..14] == 0x8847u16.to_be_bytes() {
+                let l = MplsLabel::parse(&b[14..]).unwrap();
+                assert_eq!(l.label, 777);
+                assert_eq!(l.ttl, 63);
+                assert_eq!(l.tc, 2);
+                verified += 1;
+            }
+        }
+    }
+    assert!(verified > 0, "no MPLS buffers inspected");
+}
+
+#[test]
+fn distinct_labels_take_distinct_lsps() {
+    let (mut r, _) = lsr_with_entries(&[(10, 100, 2), (11, 110, 3), (12, 120, 4)]);
+    let mut frames = Vec::new();
+    for i in 0..60u64 {
+        frames.push((i * 30_000_000, mpls_frame(10 + (i % 3) as u32, 0, 64, 60)));
+    }
+    r.attach_source(0, Box::new(TraceSource::new(frames)));
+    r.run_until(ms(5));
+    assert_eq!(r.ixp.hw.ports[2].tx_frames, 20);
+    assert_eq!(r.ixp.hw.ports[3].tx_frames, 20);
+    assert_eq!(r.ixp.hw.ports[4].tx_frames, 20);
+}
+
+#[test]
+fn unknown_labels_escalate_to_the_control_plane() {
+    let (mut r, _) = lsr_with_entries(&[(42, 777, 5)]);
+    let frames: Vec<_> = (0..5u64)
+        .map(|i| (i * 50_000_000, mpls_frame(9999, 0, 64, 60)))
+        .collect();
+    r.attach_source(0, Box::new(TraceSource::new(frames)));
+    r.run_until(ms(3));
+    assert_eq!(r.world.counters.to_sa.total(), 5, "label misses to the SA");
+    let tx: u64 = r.ixp.hw.ports.iter().map(|p| p.tx_frames).sum();
+    assert_eq!(tx, 0);
+}
+
+#[test]
+fn mpls_and_ip_traffic_coexist() {
+    let (mut r, _) = lsr_with_entries(&[(42, 777, 5)]);
+    // IP to 10.3/16 plus LSP 42 on the same port.
+    let mut frames = Vec::new();
+    for i in 0..40u64 {
+        let t = i * 25_000_000;
+        if i % 2 == 0 {
+            frames.push((t, mpls_frame(42, 0, 64, 60)));
+        } else {
+            frames.push((
+                t,
+                npr_traffic::udp_frame(
+                    &npr_traffic::FrameSpec {
+                        dst: u32::from_be_bytes([10, 3, 0, 1]),
+                        ..Default::default()
+                    },
+                    &[],
+                ),
+            ));
+        }
+    }
+    r.attach_source(0, Box::new(TraceSource::new(frames)));
+    r.run_until(ms(5));
+    assert_eq!(r.ixp.hw.ports[5].tx_frames, 20, "LSP traffic");
+    assert_eq!(r.ixp.hw.ports[3].tx_frames, 20, "routed IP traffic");
+}
+
+#[test]
+fn label_ttl_expiry_is_exceptional() {
+    let (mut r, _) = lsr_with_entries(&[(42, 777, 5)]);
+    r.attach_source(
+        0,
+        Box::new(TraceSource::new(vec![(0, mpls_frame(42, 0, 1, 60))])),
+    );
+    r.run_until(ms(2));
+    assert_eq!(r.world.counters.to_sa.total(), 1);
+    assert_eq!(r.ixp.hw.ports[5].tx_frames, 0);
+}
