@@ -1,8 +1,9 @@
-//! Criterion benches: one group per paper table/figure, run on reduced
-//! windows so `cargo bench` completes quickly while still exercising
-//! every experiment path end-to-end.
+//! Stopwatch benches (in-repo `npr_check::bench` harness): one group
+//! per paper table/figure, run on reduced windows so `cargo bench`
+//! completes quickly while still exercising every experiment path
+//! end-to-end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use npr_check::bench::Criterion;
 use npr_bench::BENCH_WINDOW as W;
 use npr_core::{ms, us, InputDiscipline, OutputDiscipline, Router, RouterConfig};
 use npr_forwarders::{pad_program, PadKind};
@@ -243,14 +244,13 @@ fn bench_extensions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig7,
-    bench_fig9,
-    bench_fig10,
-    bench_hierarchy,
-    bench_primitives,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::from_args();
+    bench_table1(&mut c);
+    bench_fig7(&mut c);
+    bench_fig9(&mut c);
+    bench_fig10(&mut c);
+    bench_hierarchy(&mut c);
+    bench_primitives(&mut c);
+    bench_extensions(&mut c);
+}

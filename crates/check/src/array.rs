@@ -1,0 +1,77 @@
+//! Fixed-size array generation, mirroring `proptest::array`.
+
+use crate::gen::Gen;
+use crate::rng::CheckRng;
+
+/// Generates `[T; N]` with every element drawn from `elem`.
+pub fn uniform<G: Gen, const N: usize>(elem: G) -> ArrayGen<G, N> {
+    ArrayGen { elem }
+}
+
+/// `[T; 32]` generator (proptest-compatible name).
+pub fn uniform32<G: Gen>(elem: G) -> ArrayGen<G, 32> {
+    uniform(elem)
+}
+
+/// Generator returned by [`uniform`] / [`uniform32`].
+#[derive(Debug, Clone)]
+pub struct ArrayGen<G, const N: usize> {
+    elem: G,
+}
+
+impl<G: Gen, const N: usize> Gen for ArrayGen<G, N> {
+    type Value = [G::Value; N];
+
+    fn generate(&self, rng: &mut CheckRng) -> Self::Value {
+        core::array::from_fn(|_| self.elem.generate(rng))
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        // One element moves per candidate; the greedy runner loops
+        // until a fixpoint so deeper shrinks still happen.
+        let mut out = Vec::new();
+        for i in 0..N {
+            for cand in self.elem.shrink(&v[i]) {
+                let mut next = v.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::any;
+
+    #[test]
+    fn generates_full_arrays() {
+        let g = uniform32(any::<u8>());
+        let a = g.generate(&mut CheckRng::new(9));
+        assert_eq!(a.len(), 32);
+        // Not all identical (vanishingly unlikely for a working RNG).
+        assert!(a.iter().any(|&b| b != a[0]));
+    }
+
+    #[test]
+    fn shrink_moves_single_elements_toward_zero() {
+        let g: ArrayGen<_, 4> = uniform(0u8..10);
+        let orig = [5, 0, 3, 0];
+        let cands = g.shrink(&orig);
+        assert!(!cands.is_empty());
+        for c in cands {
+            // Exactly one element moved, and it moved down.
+            let moved: Vec<usize> = (0..4).filter(|&i| c[i] != orig[i]).collect();
+            assert_eq!(moved.len(), 1);
+            assert!(c[moved[0]] < orig[moved[0]]);
+        }
+    }
+
+    #[test]
+    fn all_zero_array_is_fully_shrunk() {
+        let g: ArrayGen<_, 8> = uniform(0u8..10);
+        assert!(g.shrink(&[0u8; 8]).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Stopwatch benchmark runner: the criterion subset the workspace
+//! actually uses (`benchmark_group` / `sample_size` / `bench_function`
+//! / `Bencher::iter`), reimplemented over `std::time::Instant`.
+//!
+//! A `harness = false` bench target writes a plain `main` that builds
+//! a [`Criterion`] from the command line and passes it to each bench
+//! function. Under `cargo bench` the binary receives `--bench`; under
+//! `cargo test` it receives `--test` and runs every body exactly once
+//! so a broken bench fails fast without timing anything.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum wall time per timed sample; fast bodies are batched until
+/// one sample takes at least this long.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Top-level bench driver (named for the API it substitutes).
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from `std::env::args`: flags `--bench`/
+    /// `--test`/`--quick` are interpreted, the first free argument is
+    /// a substring filter on `group/function` ids.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" | "--quick" => quick = true,
+                s if s.starts_with("--") => {} // Ignore unknown flags (e.g. --save-baseline).
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, quick }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            c: self,
+            name: name.to_string(),
+            sample_size: 50,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct Group<'a> {
+    c: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if let Some(filt) = &self.c.filter {
+            if !full.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            quick: self.c.quick,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration timings. The
+    /// return value is passed through `black_box` so the computation
+    /// cannot be optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            self.iters_per_sample = 1;
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Calibrate: batch fast bodies until a sample is measurable.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let iters = if once >= MIN_SAMPLE {
+            1
+        } else {
+            (MIN_SAMPLE.as_nanos() / once.as_nanos().max(1) + 1).min(1_000_000) as u32
+        };
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.quick {
+            println!("{id:<44} ok (test mode)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        assert!(!s.is_empty(), "bench body never called Bencher::iter");
+        s.sort();
+        let median = s[s.len() / 2];
+        let (lo, hi) = (s[0], s[s.len() - 1]);
+        println!(
+            "{id:<44} median {} (range {} .. {}, {} samples x {} iters)",
+            fmt_dur(median),
+            fmt_dur(lo),
+            fmt_dur(hi),
+            s.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_criterion() -> Criterion {
+        Criterion {
+            filter: None,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn quick_mode_runs_each_body_once() {
+        let mut c = quick_criterion();
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            quick: true,
+        };
+        let mut ran = Vec::new();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("wanted_one", |b| b.iter(|| ran.push(1)));
+        g.bench_function("other", |b| b.iter(|| ran.push(2)));
+        g.finish();
+        assert_eq!(ran, vec![1]);
+    }
+
+    #[test]
+    fn timed_mode_collects_sample_size_samples() {
+        let mut c = Criterion {
+            filter: None,
+            quick: false,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("spin", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(5)), "5.000 us");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(5)), "5.000 s");
+    }
+}

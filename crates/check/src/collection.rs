@@ -1,0 +1,134 @@
+//! `Vec<T>` generation, mirroring `proptest::collection::vec`.
+
+use crate::gen::Gen;
+use crate::rng::CheckRng;
+
+/// A length constraint for [`vec`]; built from `lo..hi` or `lo..=hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Generates a `Vec` whose elements come from `elem` and whose length
+/// lies in `size`.
+pub fn vec<G: Gen>(elem: G, size: impl Into<SizeRange>) -> VecGen<G> {
+    VecGen {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// Generator returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecGen<G> {
+    elem: G,
+    size: SizeRange,
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut CheckRng) -> Self::Value {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let min = self.size.min;
+        // 1. Shorten aggressively: min length, half length, one less.
+        if v.len() > min {
+            out.push(v[..min].to_vec());
+            let half = min + (v.len() - min) / 2;
+            if half != min && half != v.len() {
+                out.push(v[..half].to_vec());
+            }
+            if v.len() - 1 != min && v.len() - 1 != min + (v.len() - min) / 2 {
+                out.push(v[..v.len() - 1].to_vec());
+            }
+            // 2. Drop interior elements one at a time (the failure may
+            //    hinge on a specific element, not the prefix).
+            for i in 0..v.len() {
+                let mut shorter = v.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        // 3. Simplify elements in place, one element per candidate.
+        for i in 0..v.len() {
+            for cand in self.elem.shrink(&v[i]) {
+                let mut next = v.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::any;
+
+    #[test]
+    fn length_stays_in_range() {
+        let g = vec(any::<u8>(), 2..128);
+        let mut rng = CheckRng::new(1);
+        for _ in 0..500 {
+            let v = g.generate(&mut rng);
+            assert!((2..128).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn shrink_respects_min_length() {
+        let g = vec(0u8..4, 3..10);
+        let v = g.generate(&mut CheckRng::new(2));
+        for cand in g.shrink(&v) {
+            assert!(cand.len() >= 3);
+            assert!(cand.iter().all(|&b| b < 4));
+        }
+    }
+
+    #[test]
+    fn fully_shrunk_vec_has_no_candidates() {
+        let g = vec(0u8..4, 1..10);
+        assert!(g.shrink(&std::vec![0u8]).is_empty());
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let g = vec(any::<u8>(), 7usize);
+        assert_eq!(g.generate(&mut CheckRng::new(3)).len(), 7);
+    }
+}

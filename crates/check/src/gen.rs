@@ -1,0 +1,254 @@
+//! Generator combinators: the `Gen` trait, `any::<T>()`, integer
+//! ranges, and tuples.
+//!
+//! A `Gen` both *generates* values and knows how to *shrink* a failing
+//! value toward a smaller counterexample without leaving its own
+//! constraint set (a `2u8..128` generator never shrinks below 2). The
+//! runner applies shrinking greedily: it takes the first candidate
+//! that still fails and repeats until no candidate fails.
+
+use crate::rng::CheckRng;
+
+/// A value generator with constraint-respecting shrinking.
+pub trait Gen {
+    type Value: Clone + core::fmt::Debug;
+
+    /// Produces one value from deterministic randomness.
+    fn generate(&self, rng: &mut CheckRng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, ordered most-aggressive
+    /// first. Every candidate must itself satisfy the generator's
+    /// constraints. An empty list means `v` is fully shrunk.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// A shared reference to a generator is a generator.
+impl<G: Gen> Gen for &G {
+    type Value = G::Value;
+    fn generate(&self, rng: &mut CheckRng) -> Self::Value {
+        (*self).generate(rng)
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        (*self).shrink(v)
+    }
+}
+
+/// Types with a canonical full-range generator, reachable via
+/// [`any`]. Mirrors `proptest::prelude::any`.
+pub trait Arbitrary: Sized + Clone + core::fmt::Debug {
+    type Gen: Gen<Value = Self>;
+    fn arbitrary() -> Self::Gen;
+}
+
+/// The canonical generator for `T`: `any::<u8>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> T::Gen {
+    T::arbitrary()
+}
+
+/// Full-range generator for a primitive (returned by `any::<T>()`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Full<T>(core::marker::PhantomData<T>);
+
+/// Shrink candidates for an unsigned value toward `lo`: jump all the
+/// way, then halve the distance, then step by one. Greedy use of this
+/// list is a binary search toward the minimum.
+fn shrink_toward(v: u64, lo: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        if v - 1 != lo && v - 1 != mid {
+            out.push(v - 1);
+        }
+    }
+    out
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Gen for Full<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut CheckRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_toward(*v as u64, 0)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Gen = Full<$t>;
+            fn arbitrary() -> Full<$t> {
+                Full(core::marker::PhantomData)
+            }
+        }
+
+        // `lo..hi` as a generator, like proptest's range strategies.
+        impl Gen for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut CheckRng) -> $t {
+                assert!(self.start < self.end, "empty range generator");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_toward(*v as u64, self.start as u64)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
+        }
+
+        // `lo..=hi` as a generator.
+        impl Gen for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut CheckRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range generator");
+                let span = (*self.end() as u64) - (*self.start() as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                self.start() + rng.below(span + 1) as $t
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_toward(*v as u64, *self.start() as u64)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Gen for Full<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut CheckRng) -> bool {
+        rng.bool()
+    }
+    fn shrink(&self, v: &bool) -> Vec<bool> {
+        if *v {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    type Gen = Full<bool>;
+    fn arbitrary() -> Full<bool> {
+        Full(core::marker::PhantomData)
+    }
+}
+
+// Tuples of generators generate tuples of values; shrinking simplifies
+// one component at a time, holding the others fixed.
+macro_rules! impl_tuple {
+    ($(($($g:ident . $idx:tt),+))*) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn generate(&self, rng: &mut CheckRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx) {
+                        let mut next = v.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> CheckRng {
+        CheckRng::new(0xA5A5)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let v = (2u8..128).generate(&mut r);
+            assert!((2..128).contains(&v));
+            let w = (0u8..=32).generate(&mut r);
+            assert!(w <= 32);
+            let x = (5usize..6).generate(&mut r);
+            assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_inclusive_covers_extremes_without_overflow() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let _ = (0u64..=u64::MAX).generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn shrink_never_leaves_the_range() {
+        let g = 10u32..100;
+        let mut v = 99u32;
+        while let Some(c) = g.shrink(&v).first().copied() {
+            assert!((10..100).contains(&c));
+            assert!(c < v, "shrinking must make progress");
+            v = c;
+        }
+        assert_eq!(v, 10);
+    }
+
+    #[test]
+    fn shrink_of_minimum_is_empty() {
+        assert!((3u8..9).shrink(&3).is_empty());
+        assert!(Full::<u32>::default().shrink(&0).is_empty());
+        assert!(Full::<bool>::default().shrink(&false).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let g = (0u8..10, 0u8..10);
+        for (a, b) in g.shrink(&(4, 7)) {
+            assert!((a, b) != (4, 7));
+            assert!(a == 4 || b == 7, "only one side may move per step");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = (0u32..1000, 0u64..=u64::MAX);
+        let (mut r1, mut r2) = (rng(), rng());
+        for _ in 0..100 {
+            assert_eq!(g.generate(&mut r1), g.generate(&mut r2));
+        }
+    }
+}

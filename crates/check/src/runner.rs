@@ -1,0 +1,208 @@
+//! The property runner: deterministic case loop + greedy shrinking.
+
+use crate::gen::Gen;
+use crate::rng::{fnv1a, mix, CheckRng};
+
+/// Hard cap on property-body evaluations spent shrinking one failure,
+/// so pathological generators cannot hang a failing test.
+const SHRINK_EVAL_LIMIT: u32 = 4096;
+
+/// Per-property configuration. `ProptestConfig` is an alias so ported
+/// `#![proptest_config(...)]` headers keep compiling.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+/// Proptest-compatible name for [`Config`].
+pub type ProptestConfig = Config;
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    /// 64 cases: enough to exercise generator diversity, small enough
+    /// that sim-heavy properties stay inside a debug test run.
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Error carried out of a failing property body: the formatted
+/// assertion message (from `prop_assert!`) or a caught panic payload.
+pub type CaseResult = Result<(), String>;
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+/// Runs one case, converting panics inside the body (e.g. `unwrap` on
+/// a bug-triggered `None`) into failures so they shrink like
+/// assertion failures do.
+fn run_case<V, F: FnMut(V) -> CaseResult>(f: &mut F, v: V) -> CaseResult {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
+        Ok(r) => r,
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic with non-string payload".into())),
+    }
+}
+
+/// Greedily shrinks a failing `value`: repeatedly takes the first
+/// candidate that still fails until no candidate does (or the
+/// evaluation budget runs out). Returns the minimal counterexample,
+/// its failure message, and the number of successful shrink steps.
+fn shrink_failure<G: Gen, F: FnMut(G::Value) -> CaseResult>(
+    gen: &G,
+    f: &mut F,
+    mut value: G::Value,
+    mut message: String,
+) -> (G::Value, String, u32) {
+    let mut steps = 0;
+    let mut evals = 0;
+    'progress: loop {
+        for cand in gen.shrink(&value) {
+            if evals >= SHRINK_EVAL_LIMIT {
+                break 'progress;
+            }
+            evals += 1;
+            if let Err(msg) = run_case(f, cand.clone()) {
+                value = cand;
+                message = msg;
+                steps += 1;
+                continue 'progress;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
+}
+
+/// Runs a named property: `cases` deterministic cases drawn from
+/// `gen`; on failure, shrinks and panics with the minimal
+/// counterexample and enough seed information to replay.
+///
+/// Environment overrides (both optional):
+/// - `NPR_CHECK_CASES`: run this many cases instead of the config's.
+/// - `NPR_CHECK_SEED`: replace the name-derived base seed (printed on
+///   failure) to replay a failing run exactly.
+pub fn run_named<G, F>(name: &str, config: &Config, gen: &G, mut f: F)
+where
+    G: Gen,
+    F: FnMut(G::Value) -> CaseResult,
+{
+    let cases = env_u64("NPR_CHECK_CASES").map_or(config.cases, |n| n as u32);
+    let base = env_u64("NPR_CHECK_SEED").unwrap_or_else(|| fnv1a(name));
+    for case in 0..cases {
+        let mut rng = CheckRng::new(mix(base.wrapping_add(u64::from(case))));
+        let value = gen.generate(&mut rng);
+        if let Err(message) = run_case(&mut f, value.clone()) {
+            let (min, min_message, steps) = shrink_failure(gen, &mut f, value, message);
+            panic!(
+                "[npr-check] property `{name}` failed (case {case} of {cases}, base seed {base})\n\
+                 minimal counterexample after {steps} shrink steps:\n  {min:?}\n\
+                 failure: {min_message}\n\
+                 replay: NPR_CHECK_SEED={base} NPR_CHECK_CASES={}", case + 1
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::vec;
+    use crate::gen::any;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let hits = std::cell::Cell::new(0u32);
+        run_named("always_true", &Config::with_cases(64), &(0u32..100), |_| {
+            hits.set(hits.get() + 1);
+            Ok(())
+        });
+        assert_eq!(hits.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_the_boundary() {
+        // `v < 500` fails for v >= 500; the minimal counterexample is
+        // exactly 500, and greedy binary shrinking must find it.
+        let r = std::panic::catch_unwind(|| {
+            run_named("lt_500", &Config::with_cases(256), &(0u32..10_000), |v| {
+                if v < 500 {
+                    Ok(())
+                } else {
+                    Err(format!("{v} not < 500"))
+                }
+            });
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("minimal counterexample"), "{msg}");
+        assert!(msg.contains("\n  500\n"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn vec_failure_shrinks_length_and_elements() {
+        // "No vector may contain a byte >= 200". Minimal failing case
+        // is the single-element vector [200].
+        let g = vec(any::<u8>(), 1..64);
+        let r = std::panic::catch_unwind(|| {
+            run_named("no_big_bytes", &Config::with_cases(64), &g, |v| {
+                if v.iter().all(|&b| b < 200) {
+                    Ok(())
+                } else {
+                    Err("big byte".into())
+                }
+            });
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("[200]"), "expected minimal [200], got: {msg}");
+    }
+
+    #[test]
+    fn panics_in_the_body_are_shrunk_like_failures() {
+        let r = std::panic::catch_unwind(|| {
+            run_named("no_panic", &Config::with_cases(128), &(0u32..1000), |v| {
+                assert!(v < 900, "boom at {v}");
+                Ok(())
+            });
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("`no_panic`"), "{msg}");
+        assert!(msg.contains("900"), "{msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_name() {
+        let collect = || {
+            let mut got = Vec::new();
+            run_named("det", &Config::with_cases(16), &(0u64..=u64::MAX), |v| {
+                got.push(v);
+                Ok(())
+            });
+            got
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn distinct_names_see_distinct_streams() {
+        let first = |name: &str| {
+            let mut got = 0;
+            run_named(name, &Config::with_cases(1), &(0u64..=u64::MAX), |v| {
+                got = v;
+                Ok(())
+            });
+            got
+        };
+        assert_ne!(first("stream_a"), first("stream_b"));
+    }
+}

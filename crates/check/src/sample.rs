@@ -1,0 +1,72 @@
+//! Collection sampling, mirroring `proptest::sample`.
+
+use crate::gen::{Arbitrary, Gen};
+use crate::rng::CheckRng;
+
+/// An index into a collection whose length is unknown at generation
+/// time: `any::<Index>()` produces one, `.index(len)` resolves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves to a concrete index in `[0, len)`; `len` must be
+    /// non-zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Generator for [`Index`] (returned by `any::<Index>()`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexGen;
+
+impl Gen for IndexGen {
+    type Value = Index;
+    fn generate(&self, rng: &mut CheckRng) -> Index {
+        Index(rng.next_u64())
+    }
+    fn shrink(&self, v: &Index) -> Vec<Index> {
+        // Toward zero: resolved indices shrink toward the front of the
+        // sampled collection.
+        let mut out = Vec::new();
+        if v.0 > 0 {
+            out.push(Index(0));
+            if v.0 / 2 != 0 {
+                out.push(Index(v.0 / 2));
+            }
+        }
+        out
+    }
+}
+
+impl Arbitrary for Index {
+    type Gen = IndexGen;
+    fn arbitrary() -> IndexGen {
+        IndexGen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::any;
+
+    #[test]
+    fn index_is_always_in_bounds() {
+        let mut rng = CheckRng::new(4);
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..200 {
+                let ix = any::<Index>().generate(&mut rng);
+                assert!(ix.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn shrunk_index_resolves_to_front() {
+        let ix = Index(u64::MAX);
+        let min = IndexGen.shrink(&ix)[0];
+        assert_eq!(min.index(17), 0);
+    }
+}

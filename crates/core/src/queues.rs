@@ -288,7 +288,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     proptest! {
         /// The readiness bit-array always agrees with actual queue
@@ -296,7 +296,7 @@ mod proptests {
         /// indirection must never lie to the output scheduler.
         #[test]
         fn ready_bits_track_occupancy(
-            ops in proptest::collection::vec((0usize..4, 0usize..4, any::<bool>()), 1..300),
+            ops in npr_check::collection::vec((0usize..4, 0usize..4, any::<bool>()), 1..300),
         ) {
             let mut p = QueuePlane::new(4, 4, 8);
             for (port, prio, enq) in ops {
@@ -320,7 +320,7 @@ mod proptests {
         /// Conservation: enqueued = dequeued + drops + still-queued.
         #[test]
         fn queue_accounting_conserves(
-            ops in proptest::collection::vec(any::<bool>(), 1..200),
+            ops in npr_check::collection::vec(any::<bool>(), 1..200),
         ) {
             let mut q = PacketQueue::new(5);
             let mut attempted = 0u64;

@@ -4,7 +4,7 @@
 
 use npr_ixp::{ChipConfig, CtxProgram, Env, Ixp, IxpEv, MemKind, Op, Sched};
 use npr_sim::{EventQueue, Time, XorShift64};
-use proptest::prelude::*;
+use npr_check::prelude::*;
 
 struct Q(EventQueue<IxpEv>);
 impl Sched for Q {
@@ -133,7 +133,7 @@ fn assert_mutual_exclusion(log: &[(Time, usize, bool)]) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn token_ring_is_mutually_exclusive(seed: u64) {

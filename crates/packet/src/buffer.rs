@@ -197,7 +197,7 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     #[test]
     fn alloc_cycles_through_indices() {
@@ -269,7 +269,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn lap_invariant(ops in proptest::collection::vec(0u8..4, 1..200)) {
+        fn lap_invariant(ops in npr_check::collection::vec(0u8..4, 1..200)) {
             // A handle is readable iff fewer than `len` allocations have
             // happened since it was issued.
             let mut p = BufferPool::new(8, 16);

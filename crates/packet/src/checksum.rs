@@ -69,7 +69,7 @@ pub fn incremental_update16(old_sum: u16, old_word: u16, new_word: u16) -> u16 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     #[test]
     fn checksum_of_zeros_is_all_ones() {
@@ -103,7 +103,7 @@ mod tests {
     proptest! {
         #[test]
         fn incremental_matches_full_recompute(
-            mut data in proptest::collection::vec(any::<u8>(), 2..128),
+            mut data in npr_check::collection::vec(any::<u8>(), 2..128),
             idx in 0usize..63,
             new_word: u16,
         ) {

@@ -172,7 +172,7 @@ pub const fn addr(a: u8, b: u8, c: u8, d: u8) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     fn sample_header() -> Ipv4Header {
         Ipv4Header {
@@ -357,7 +357,7 @@ pub fn reassemble(fragments: &[Vec<u8>]) -> Option<Vec<u8>> {
 #[cfg(test)]
 mod fragment_tests {
     use super::*;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     fn big_frame(payload_len: usize, df: bool) -> Vec<u8> {
         let total = 20 + payload_len;

@@ -119,7 +119,7 @@ impl Mp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     #[test]
     fn single_mp_frame_is_only() {
@@ -159,7 +159,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn segment_reassemble_round_trip(frame in proptest::collection::vec(any::<u8>(), 1..1600)) {
+        fn segment_reassemble_round_trip(frame in npr_check::collection::vec(any::<u8>(), 1..1600)) {
             let mps = Mp::segment(&frame, 1, 42);
             prop_assert_eq!(Mp::reassemble(&mps), frame.clone());
             prop_assert_eq!(mps.len(), Mp::count_for_len(frame.len()));

@@ -130,7 +130,7 @@ impl TcpHeader {
 mod tests {
     use super::*;
     use crate::checksum::checksum16;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     fn sample() -> TcpHeader {
         TcpHeader {

@@ -262,7 +262,7 @@ fn mask(addr: u32, plen: u8) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use npr_check::prelude::*;
 
     #[test]
     fn empty_trie_matches_nothing() {
@@ -362,8 +362,8 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
         fn trie_matches_naive_oracle(
-            routes in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 0..64),
-            probes in proptest::collection::vec(any::<u32>(), 0..64),
+            routes in npr_check::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 0..64),
+            probes in npr_check::collection::vec(any::<u32>(), 0..64),
         ) {
             let mut t = PrefixTrie::ipv4_default();
             for &(a, l, v) in &routes {
@@ -376,9 +376,9 @@ mod tests {
 
         #[test]
         fn removal_matches_fresh_build(
-            routes in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 1..32),
-            kill in any::<proptest::sample::Index>(),
-            probes in proptest::collection::vec(any::<u32>(), 0..32),
+            routes in npr_check::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 1..32),
+            kill in any::<npr_check::sample::Index>(),
+            probes in npr_check::collection::vec(any::<u32>(), 0..32),
         ) {
             let mut t = PrefixTrie::ipv4_default();
             for &(a, l, v) in &routes {

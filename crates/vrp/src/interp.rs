@@ -360,16 +360,16 @@ mod tests {
         );
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+    npr_check::proptest! {
+        #![proptest_config(npr_check::ProptestConfig::with_cases(128))]
         /// Soundness of the admission-control analysis: on any input, a
         /// verified program's dynamic cost never exceeds its static
         /// worst-case bound. This is the property that lets the router
         /// trust installed forwarders not to break line rate.
         #[test]
         fn verified_cost_bounds_dynamic_cost(
-            mp in proptest::array::uniform32(proptest::prelude::any::<u8>()),
-            seed in proptest::prelude::any::<u64>(),
+            mp in npr_check::array::uniform32(npr_check::any::<u8>()),
+            seed in npr_check::any::<u64>(),
         ) {
             // Generate a structurally valid random program from the seed.
             let prog = random_program(seed);
@@ -378,15 +378,15 @@ mod tests {
                 full_mp[..32].copy_from_slice(&mp);
                 let mut state = vec![0u8; usize::from(prog.state_bytes)];
                 let r = run(&prog, &mut full_mp, &mut state).unwrap();
-                proptest::prop_assert!(r.cycles <= cost.worst_cycles,
+                npr_check::prop_assert!(r.cycles <= cost.worst_cycles,
                     "dynamic {} > static {}", r.cycles, cost.worst_cycles);
-                proptest::prop_assert!(r.sram_reads <= cost.sram_reads);
-                proptest::prop_assert!(r.sram_writes <= cost.sram_writes);
-                proptest::prop_assert!(r.hashes <= cost.hashes);
+                npr_check::prop_assert!(r.sram_reads <= cost.sram_reads);
+                npr_check::prop_assert!(r.sram_writes <= cost.sram_writes);
+                npr_check::prop_assert!(r.hashes <= cost.hashes);
                 // And a verified-at-default-budget program obeys it too.
                 if crate::verify::verify(&prog, &VrpBudget::default()).is_ok() {
-                    proptest::prop_assert!(r.cycles <= 240);
-                    proptest::prop_assert!(r.sram_reads + r.sram_writes <= 24);
+                    npr_check::prop_assert!(r.cycles <= 240);
+                    npr_check::prop_assert!(r.sram_reads + r.sram_writes <= 24);
                 }
             }
         }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetic edition: everything runs --offline so a
+# clean checkout with no network and no registry cache must pass. Any
+# compiler warning is an error (the tree stays warning-clean).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:-} -Dwarnings"
+
+# Tier-1: release build + full test suite.
+cargo build --release --offline
+cargo test -q --offline
+
+# Keep the bench harness and every example compiling (they are not run
+# by `cargo test`, so build them explicitly).
+cargo build --release --offline --benches --examples
+
+# The bench binary must also execute: quick mode runs every bench body
+# exactly once without timing.
+cargo bench --offline --bench paper -- --test
+
+# Hermetic-build gate: the dependency graph may contain only workspace
+# crates. Check both the resolved tree and the lockfile.
+if cargo tree --offline --workspace --edges normal,dev,build --prefix none \
+        | grep -v "^npr-" | grep -v "^$"; then
+    echo "ERROR: non-workspace dependency in the tree" >&2
+    exit 1
+fi
+if grep '^name = ' Cargo.lock | grep -v '^name = "npr-'; then
+    echo "ERROR: non-workspace package in Cargo.lock" >&2
+    exit 1
+fi
+
+echo "verify: OK"
