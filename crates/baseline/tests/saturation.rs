@@ -1,0 +1,91 @@
+//! Saturation-point tests for the two comparison baselines: the pure
+//! PC router (receive livelock, Mogul & Ramakrishnan) and the
+//! abandoned DRAM-direct design (paper, section 3.5.2). These pin the
+//! quantitative anchors the headline result is measured against: the
+//! IXP router's 3.47 Mpps must clear the 2.69 Mpps DRAM wall and sit
+//! nearly an order of magnitude above the ~400 Kpps PC.
+
+use npr_baseline::{DramDirect, PurePc};
+
+// --- Pure PC ---
+
+#[test]
+fn pure_pc_goodput_peaks_exactly_at_the_knee() {
+    let pc = PurePc::default();
+    let knee = pc.knee_pps();
+    // At the knee the CPU is exactly saturated: goodput == offered.
+    assert!((pc.goodput_pps(knee) - knee).abs() < 1.0);
+    // Below the knee the router is loss-free.
+    assert!((pc.goodput_pps(0.9 * knee) - 0.9 * knee).abs() < 1.0);
+    // Past the knee goodput strictly falls: the defining livelock shape.
+    assert!(pc.goodput_pps(1.1 * knee) < knee);
+    assert!(pc.goodput_pps(2.0 * knee) < pc.goodput_pps(1.1 * knee));
+}
+
+#[test]
+fn pure_pc_livelock_threshold_is_rx_cost_exhaustion() {
+    let pc = PurePc::default();
+    // Goodput reaches zero exactly when interrupt + driver work alone
+    // consumes the whole CPU.
+    let threshold = pc.clock_hz as f64 / (pc.interrupt_cycles + pc.driver_cycles) as f64;
+    assert_eq!(pc.goodput_pps(threshold), 0.0);
+    assert!(pc.goodput_pps(0.99 * threshold) > 0.0);
+}
+
+#[test]
+fn pure_pc_saturation_scales_with_clock_and_cost() {
+    let base = PurePc::default();
+    let fast = PurePc {
+        clock_hz: 2 * base.clock_hz,
+        ..base
+    };
+    assert!((fast.max_pps() / base.max_pps() - 2.0).abs() < 1e-9);
+    let lean = PurePc {
+        forward_cycles: 0,
+        ..base
+    };
+    // Removing forwarding work raises the knee to the rx-cost limit.
+    let rx_only = base.clock_hz as f64 / (base.interrupt_cycles + base.driver_cycles) as f64;
+    assert!((lean.max_pps() - rx_only).abs() < 1.0);
+}
+
+// --- DRAM-direct ---
+
+#[test]
+fn dram_direct_simulation_validates_closed_form_across_sizes() {
+    let d = DramDirect::default();
+    for len in [64usize, 128, 594, 1500] {
+        let sim = d.simulate_pps(len, 20_000);
+        let formula = d.max_pps(len);
+        assert!(
+            (sim / formula - 1.0).abs() < 0.01,
+            "len {len}: simulated {sim} vs closed-form {formula}"
+        );
+    }
+}
+
+#[test]
+fn dram_direct_saturation_falls_with_packet_size() {
+    let d = DramDirect::default();
+    let mut last = f64::INFINITY;
+    for len in [64usize, 128, 256, 594, 1500] {
+        let pps = d.max_pps(len);
+        assert!(pps < last, "pps must fall as packets grow: {len}");
+        last = pps;
+    }
+    // But byte throughput rises: large packets amortize header traffic.
+    assert!(d.max_pps(1500) * 1500.0 > d.max_pps(64) * 64.0);
+}
+
+#[test]
+fn baselines_bracket_the_paper_numbers() {
+    let pc = PurePc::default();
+    let d = DramDirect::default();
+    let paper_mpps = 3_470_000.0;
+    // PC saturates near 400 Kpps, ~8.5x below the IXP result.
+    assert!((350_000.0..500_000.0).contains(&pc.max_pps()));
+    // DRAM-direct walls at ~2.69 Mpps — above the PC, below the paper.
+    let wall = d.max_pps(64);
+    assert!((2_500_000.0..2_900_000.0).contains(&wall));
+    assert!(pc.max_pps() < wall && wall < paper_mpps);
+}

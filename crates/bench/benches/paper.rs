@@ -162,12 +162,14 @@ fn bench_primitives(c: &mut Criterion) {
     g.bench_function("incremental_checksum", |b| {
         b.iter(|| npr_packet::incremental_update16(0x1234, 0x4006, 0x3f06))
     });
-    // Event-queue throughput.
+    // Event-queue throughput. Timestamps spread over ~2 us so the
+    // calendar's wheel (not just the sorted active region) is on the
+    // hot path, matching how the simulator actually loads it.
     g.bench_function("event_queue_push_pop", |b| {
         b.iter(|| {
             let mut q = npr_sim::EventQueue::new();
             for i in 0..1000u64 {
-                q.schedule(i * 7 % 997, i);
+                q.schedule(i.wrapping_mul(7919) % 2_000_000, i);
             }
             let mut n = 0;
             while q.pop().is_some() {

@@ -1,0 +1,252 @@
+//! `simbench`: the simulator's own performance baseline.
+//!
+//! Measures the event-scheduler microbenchmark (calendar queue vs the
+//! `OracleQueue` reference heap, hold model) and per-experiment
+//! wall-clock, then writes `BENCH_sim.json` — the recorded perf
+//! trajectory that later PRs must not regress. Before timing anything
+//! it runs a lock-step differential check and refuses to emit numbers
+//! from a scheduler that diverges from the oracle.
+//!
+//! ```text
+//! simbench [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks repetitions and windows for CI; `--out` defaults
+//! to stdout-only (pass a path to write the JSON file).
+
+use std::time::Instant;
+
+use npr_bench::BENCH_WINDOW;
+use npr_core::us;
+use npr_sim::{CalendarQueue, OracleQueue, Time, XorShift64};
+
+/// Steady-state pending-event population for the hold model. Matches
+/// the order of magnitude of a busy full-system run (every context,
+/// port, controller, and slow-path timer holds pending events) and
+/// makes the heap's `O(log n)` vs the calendar's `O(1)` visible.
+const PENDING: usize = 8192;
+
+/// A delay distribution shaped like the simulator's: mostly short
+/// compute/memory latencies within the wheel horizon, a tail of
+/// frame-interarrival and retry timers beyond it.
+fn hold_delay(rng: &mut XorShift64) -> Time {
+    match rng.below(16) {
+        0..=9 => 5_000 + rng.below(495_000), // Compute + memory (5 ns – 0.5 us).
+        10..=13 => 500_000 + rng.below(1_500_000), // DMA bursts, long blocks.
+        14 => rng.below(5_000),              // Same-cycle wakeups, ties.
+        _ => 6_720_000 + rng.below(100) * 1_000_000, // Interarrivals, retries.
+    }
+}
+
+/// Hold model on the calendar queue: pop one event, schedule its
+/// successor. Returns events completed per wall-clock second.
+fn hold_calendar(ops: u64) -> f64 {
+    let mut rng = XorShift64::new(0xBEEF);
+    let mut q: CalendarQueue<u32> = CalendarQueue::new();
+    for i in 0..PENDING {
+        q.schedule(rng.below(2_000_000), i as u32);
+    }
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let (t, v) = q.pop().expect("population is conserved");
+        q.schedule(t + hold_delay(&mut rng), v);
+    }
+    let dt = t0.elapsed();
+    assert_eq!(q.len(), PENDING);
+    ops as f64 / dt.as_secs_f64()
+}
+
+/// The identical hold model on the oracle heap.
+fn hold_oracle(ops: u64) -> f64 {
+    let mut rng = XorShift64::new(0xBEEF);
+    let mut q: OracleQueue<u32> = OracleQueue::new();
+    for i in 0..PENDING {
+        q.schedule(rng.below(2_000_000), i as u32);
+    }
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let (t, v) = q.pop().expect("population is conserved");
+        q.schedule(t + hold_delay(&mut rng), v);
+    }
+    let dt = t0.elapsed();
+    assert_eq!(q.len(), PENDING);
+    ops as f64 / dt.as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Lock-step differential check (the quick in-binary version of
+/// `crates/sim/tests/differential.rs`): both queues run the hold model
+/// plus interleaved peeks and must agree on every observable.
+fn differential_check(ops: u64) -> Result<(), String> {
+    let mut rng = XorShift64::new(0x0D1F);
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut ora: OracleQueue<u64> = OracleQueue::new();
+    let mut next = 0u64;
+    for _ in 0..256 {
+        let at = rng.below(2_000_000);
+        cal.schedule(at, next);
+        ora.schedule(at, next);
+        next += 1;
+    }
+    for i in 0..ops {
+        let (a, b) = (cal.pop(), ora.pop());
+        if a != b {
+            return Err(format!("op {i}: calendar {a:?} != oracle {b:?}"));
+        }
+        let Some((t, _)) = a else {
+            return Err(format!("op {i}: queues ran dry"));
+        };
+        // Refill with 1-2 successors so the population breathes; force
+        // exact ties regularly to stress the FIFO tie-break.
+        for _ in 0..1 + (i % 2) {
+            let d = if rng.below(8) == 0 {
+                0
+            } else {
+                hold_delay(&mut rng)
+            };
+            cal.schedule(t + d, next);
+            ora.schedule(t + d, next);
+            next += 1;
+        }
+        if cal.peek_time() != ora.peek_time() || cal.len() != ora.len() {
+            return Err(format!("op {i}: peek/len diverged"));
+        }
+        // Keep the population bounded.
+        if cal.len() > 4096 {
+            let (a, b) = (cal.pop(), ora.pop());
+            if a != b {
+                return Err(format!("op {i}: drain pop diverged"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Times one experiment closure, returning wall milliseconds.
+fn wall_ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    // 1. Refuse to benchmark a scheduler that diverges from the oracle.
+    let diff_ops: u64 = if quick { 100_000 } else { 400_000 };
+    if let Err(e) = differential_check(diff_ops) {
+        eprintln!("simbench: DIFFERENTIAL CHECK FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!("differential check: {diff_ops} lock-step ops OK");
+
+    // 2. Events/sec, median over repetitions, alternating the two
+    //    queues so frequency scaling and cache state stay comparable.
+    let (reps, ops) = if quick { (5, 400_000u64) } else { (9, 2_000_000) };
+    let mut cal_rates = Vec::with_capacity(reps);
+    let mut ora_rates = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        cal_rates.push(hold_calendar(ops));
+        ora_rates.push(hold_oracle(ops));
+    }
+    let cal = median(cal_rates);
+    let ora = median(ora_rates);
+    let speedup = cal / ora;
+    println!(
+        "event queue (hold model, {PENDING} pending): calendar {:.2} Mev/s, \
+         oracle {:.2} Mev/s, speedup {speedup:.2}x",
+        cal / 1e6,
+        ora / 1e6
+    );
+
+    // 3. Per-experiment wall-clock over representative experiments.
+    let (warmup, window) = if quick {
+        (us(200), us(600))
+    } else {
+        (us(500), BENCH_WINDOW)
+    };
+    let experiments: Vec<(&str, f64)> = vec![
+        (
+            "table1_disciplines",
+            wall_ms(|| {
+                std::hint::black_box(npr_bench::table1(warmup, window));
+            }),
+        ),
+        (
+            "table4_pentium_path",
+            wall_ms(|| {
+                std::hint::black_box(npr_bench::table4(warmup, window));
+            }),
+        ),
+        (
+            "linerate_8x100mbps",
+            wall_ms(|| {
+                std::hint::black_box(npr_bench::linerate(warmup, window));
+            }),
+        ),
+        (
+            "baseline_comparison",
+            wall_ms(|| {
+                std::hint::black_box(npr_bench::baseline(warmup, window));
+            }),
+        ),
+    ];
+    for (name, ms) in &experiments {
+        println!("experiment {name}: {ms:.1} ms wall");
+    }
+
+    // 4. Emit JSON (hand-formatted: the workspace has no serde, by
+    //    policy).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"event_queue_microbench\": {\n");
+    json.push_str("    \"model\": \"hold\",\n");
+    json.push_str(&format!("    \"pending_events\": {PENDING},\n"));
+    json.push_str(&format!("    \"ops_per_rep\": {ops},\n"));
+    json.push_str(&format!("    \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "    \"calendar_events_per_sec\": {},\n",
+        cal.round()
+    ));
+    json.push_str(&format!(
+        "    \"oracle_events_per_sec\": {},\n",
+        ora.round()
+    ));
+    json.push_str(&format!("    \"speedup\": {speedup:.3}\n"));
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"differential_check\": {{ \"lock_step_ops\": {diff_ops}, \"ok\": true }},\n"
+    ));
+    json.push_str("  \"experiments\": [\n");
+    for (i, (name, ms)) in experiments.iter().enumerate() {
+        let comma = if i + 1 < experiments.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"wall_ms\": {ms:.1} }}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write BENCH_sim.json");
+            println!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+}

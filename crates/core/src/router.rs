@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use npr_ixp::{IStore, Ixp, IxpEv, PortId, RingId, Sched, TrafficSource};
 use npr_packet::{BufferHandle, EthernetFrame, Ipv4Header, Ipv4Proto, MacAddr, Mp, UdpHeader};
 use npr_route::NextHop;
-use npr_sim::{cycles_to_ps, EventQueue, Time, PENTIUM_HZ, PS_PER_SEC};
+use npr_sim::{cycles_to_ps, EventQueue, Time, Wakeup, PENTIUM_HZ, PS_PER_SEC};
 use npr_vrp::VrpBudget;
 
 use crate::classify::{Key, WhereRun};
@@ -162,6 +162,11 @@ pub struct Router {
     /// Total VRP budget for the configured line rate.
     pub vrp_budget: VrpBudget,
     events: EventQueue<Ev>,
+    /// Coalesces same-timestamp [`Ev::SaPoll`] wakeups (many producers
+    /// poke the StrongARM; one poll drains them all).
+    sa_waker: Wakeup,
+    /// Coalesces same-timestamp [`Ev::PeWake`] wakeups.
+    pe_waker: Wakeup,
     started: bool,
     installs: HashMap<Fid, InstallRecord>,
     next_fid: Fid,
@@ -314,6 +319,8 @@ impl Router {
             istore: IStore::new(),
             vrp_budget: VrpBudget::default(),
             events: EventQueue::new(),
+            sa_waker: Wakeup::new(),
+            pe_waker: Wakeup::new(),
             started: false,
             installs: HashMap::new(),
             next_fid: 1,
@@ -394,25 +401,45 @@ impl Router {
         let mut s = IxpSched(events);
         ixp.start(world, &mut s);
         if self.sa.synth_feed.is_some() {
-            self.events.schedule(0, Ev::SaPoll);
+            self.wake_sa_in(0);
         }
     }
 
     /// Runs the simulation until absolute time `t`.
     pub fn run_until(&mut self, t: Time) {
         self.start();
-        while let Some(pt) = self.events.peek_time() {
-            if pt > t {
-                break;
-            }
-            self.step();
+        // Atomic pop-with-deadline: an event beyond `t` is neither
+        // consumed nor allowed to advance the clock (a bare
+        // `peek_time`/`pop` pair would race with anything scheduled
+        // between the two calls).
+        while let Some((at, ev)) = self.events.pop_if_at_or_before(t) {
+            self.dispatch(at, ev);
         }
     }
 
-    fn step(&mut self) {
-        let Some((_, ev)) = self.events.pop() else {
-            return;
-        };
+    /// Requests a StrongARM poll at absolute time `t`, coalescing
+    /// same-timestamp duplicates.
+    fn wake_sa_at(&mut self, t: Time) {
+        if self.sa_waker.request(t) {
+            self.events.schedule(t, Ev::SaPoll);
+        }
+    }
+
+    /// Requests a StrongARM poll `delay` after now.
+    fn wake_sa_in(&mut self, delay: Time) {
+        self.wake_sa_at(self.events.now() + delay);
+    }
+
+    /// Requests a Pentium wakeup `delay` after now, coalescing
+    /// same-timestamp duplicates.
+    fn wake_pe_in(&mut self, delay: Time) {
+        let t = self.events.now() + delay;
+        if self.pe_waker.request(t) {
+            self.events.schedule(t, Ev::PeWake);
+        }
+    }
+
+    fn dispatch(&mut self, at: Time, ev: Ev) {
         match ev {
             Ev::Ixp(e) => {
                 let Self {
@@ -421,20 +448,26 @@ impl Router {
                 let mut s = IxpSched(events);
                 ixp.handle(e, world, &mut s);
             }
-            Ev::SaPoll => self.sa_poll(),
+            Ev::SaPoll => {
+                self.sa_waker.fire(at);
+                self.sa_poll();
+            }
             Ev::SaDone => self.sa_done(),
             Ev::PeArrive(item) => {
                 let flow = usize::from(item.flow).min(self.pe.inbound.len() - 1);
                 self.pe.inbound[flow].push_back(item);
-                self.events.schedule_in(0, Ev::PeWake);
+                self.wake_pe_in(0);
             }
-            Ev::PeWake => self.pe_wake(),
+            Ev::PeWake => {
+                self.pe_waker.fire(at);
+                self.pe_wake();
+            }
             Ev::PeDone => self.pe_done(),
             Ev::PeWriteback { desc, head } => self.pe_writeback(desc, head),
         }
         if self.world.sa_signal {
             self.world.sa_signal = false;
-            self.events.schedule_in(0, Ev::SaPoll);
+            self.wake_sa_in(0);
         }
     }
 
@@ -453,7 +486,7 @@ impl Router {
     fn sa_defer(&mut self, q: fn(&mut RouterWorld) -> &mut crate::queues::PacketQueue, desc: u32) {
         q(&mut self.world).enqueue(desc);
         // Retry after roughly one MP wire time.
-        self.events.schedule_in(us(6), Ev::SaPoll);
+        self.wake_sa_in(us(6));
     }
 
     fn sa_poll(&mut self) {
@@ -473,7 +506,7 @@ impl Router {
             if !self.sa_assembled(desc) {
                 self.pci.release_buffer();
                 self.world.sa_pe_q[f].enqueue(desc);
-                self.events.schedule_in(us(6), Ev::SaPoll);
+                self.wake_sa_in(us(6));
                 continue;
             }
             let esc = self.world.escalations.remove(&desc);
@@ -668,7 +701,7 @@ impl Router {
                 let h = BufferHandle::from_descriptor(desc);
                 if !self.sa_resolve_route(h) {
                     self.pci.release_buffer();
-                    self.events.schedule_in(0, Ev::SaPoll);
+                    self.wake_sa_in(0);
                     return;
                 }
                 let (head, len, mps) = match self.world.pool.read(h) {
@@ -682,7 +715,7 @@ impl Router {
                     None => {
                         self.world.counters.lap_losses.inc();
                         self.pci.release_buffer();
-                        self.events.schedule_in(0, Ev::SaPoll);
+                        self.wake_sa_in(0);
                         return;
                     }
                 };
@@ -742,7 +775,7 @@ impl Router {
             SaJob::Local { desc, fwdr } => {
                 let h = BufferHandle::from_descriptor(desc);
                 if !self.sa_resolve_route(h) {
-                    self.events.schedule_in(0, Ev::SaPoll);
+                    self.wake_sa_in(0);
                     return;
                 }
                 self.sa_finish_local(desc, fwdr);
@@ -777,7 +810,7 @@ impl Router {
                 }
             }
         }
-        self.events.schedule_in(0, Ev::SaPoll);
+        self.wake_sa_in(0);
     }
 
     // --- Pentium ---
@@ -836,10 +869,10 @@ impl Router {
             }
             PeAction::Drop | PeAction::Consume => {
                 self.pci.release_buffer();
-                self.events.schedule_in(0, Ev::SaPoll);
+                self.wake_sa_in(0);
             }
         }
-        self.events.schedule_in(0, Ev::PeWake);
+        self.wake_pe_in(0);
     }
 
     fn pe_writeback(&mut self, desc: u32, head: [u8; 64]) {
@@ -855,7 +888,7 @@ impl Router {
         } else {
             self.world.counters.lap_losses.inc();
         }
-        self.events.schedule_in(0, Ev::SaPoll);
+        self.wake_sa_in(0);
     }
 
     /// Arms the packet tracer for IPv4 destination `dst` (records up to

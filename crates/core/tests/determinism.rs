@@ -1,0 +1,184 @@
+//! Golden determinism test for the event scheduler.
+//!
+//! The `robust_router` example scenario (section 4.7: a control stream
+//! surviving a data-plane flood) is run twice with identical inputs and
+//! must produce bit-identical counter and trace output; the digest of
+//! one run is additionally pinned to a known-good constant. The pin
+//! makes scheduler regressions loud: any change to event order — a
+//! broken FIFO tie-break in the calendar queue, a wakeup coalesced when
+//! it should not be — shifts packet interleavings and changes the
+//! digest even when throughput assertions would still pass.
+//!
+//! If this test fails after an *intentional* semantics change, rerun
+//! with the new digest printed (`cargo test -p npr-core --test
+//! determinism -- --nocapture`) and update `GOLDEN_DIGEST` in the same
+//! PR, noting why the schedule moved.
+
+use npr_core::{ms, us, FlowKey, Key, Router, RouterConfig};
+use npr_forwarders::slow::route_updater_pe;
+use npr_traffic::{udp_frame, CbrSource, FrameSpec, MixSource, TraceSource};
+
+/// FNV-1a, 64-bit: digests must be stable across runs, processes, and
+/// build profiles, so only integers and fixed strings are fed in.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// The scaled-down `robust_router` scenario: flood on seven ports, a
+/// traced control stream installing routes via the Pentium on the
+/// eighth. Returns the digest over every deterministic observable.
+fn run_scenario() -> u64 {
+    let mut cfg = RouterConfig::line_rate();
+    cfg.divert_sa_permille = 333;
+    let mut router = Router::new(cfg);
+
+    let ctl_key = FlowKey {
+        src: u32::from_be_bytes([10, 0, 0, 9]),
+        dst: u32::from_be_bytes([10, 1, 0, 1]),
+        sport: 2600,
+        dport: 89,
+    };
+    router
+        .install(Key::Flow(ctl_key), route_updater_pe(1_000), None)
+        .expect("route updater admitted");
+
+    for p in 0..8 {
+        if p == 1 {
+            continue;
+        }
+        router.attach_cbr(p, 0.95, u64::MAX, ((p + 1) % 8) as u8);
+    }
+    // 40 route updates, one every 50 us, mixed with background load.
+    let updates: Vec<(npr_sim::Time, Vec<u8>)> = (0..40u32)
+        .map(|i| {
+            let mut payload = [0u8; 6];
+            payload[0..4].copy_from_slice(&u32::from_be_bytes([11, i as u8, 0, 0]).to_be_bytes());
+            payload[4] = 16;
+            payload[5] = (i % 8) as u8;
+            let frame = udp_frame(
+                &FrameSpec {
+                    src: ctl_key.src,
+                    dst: ctl_key.dst,
+                    sport: ctl_key.sport,
+                    dport: ctl_key.dport,
+                    ..Default::default()
+                },
+                &payload,
+            );
+            (u64::from(i) * 50_000_000, frame)
+        })
+        .collect();
+    let bg = CbrSource::new(
+        100_000_000,
+        0.8,
+        FrameSpec {
+            dst: u32::from_be_bytes([10, 2, 0, 1]),
+            ..Default::default()
+        },
+        u64::MAX,
+    );
+    router.attach_source(
+        1,
+        Box::new(MixSource::new(vec![
+            Box::new(TraceSource::new(updates)),
+            Box::new(bg),
+        ])),
+    );
+    // Trace the background flow end to end: the recorded steps (and
+    // their picosecond timestamps) go into the digest, so the trace
+    // output is covered by the bit-identical requirement too.
+    router.trace_destination(u32::from_be_bytes([10, 2, 0, 1]), 64);
+
+    let report = router.measure(us(500), ms(2));
+
+    // Liveness floor — a digest of a dead run would pin nothing.
+    assert!(report.forward_mpps > 0.1, "flood stalled: {report:?}");
+    let installed = (0..40u32)
+        .filter(|&x| {
+            router
+                .world
+                .table
+                .lookup_slow(u32::from_be_bytes([11, x as u8, 0, 0]) | 0x1234)
+                .0
+                .is_some()
+        })
+        .count() as u64;
+    assert!(installed > 10, "control plane starved: {installed}/40");
+
+    let mut d = Digest::new();
+    d.u64(router.now());
+    d.u64(installed);
+    d.u64(router.sa.done);
+    d.u64(router.pe.done);
+    for p in &router.ixp.hw.ports {
+        d.u64(p.rx_frames);
+        d.u64(p.rx_frames_dropped);
+        d.u64(p.tx_frames);
+    }
+    let c = &router.world.counters;
+    for counter in [
+        &c.input_pkts,
+        &c.input_mps,
+        &c.vrp_drops,
+        &c.validation_drops,
+        &c.no_route_drops,
+        &c.to_sa,
+        &c.to_pe,
+        &c.sa_local_done,
+        &c.pe_done,
+        &c.lap_losses,
+        &c.tx_pkts,
+        &c.input_reg_cycles,
+        &c.output_reg_cycles,
+        &c.output_mps,
+        &c.latency_sum_ps,
+        &c.latency_samples,
+    ] {
+        d.u64(counter.total());
+    }
+    d.u64(c.latency_max_ps);
+    d.u64(router.world.queues.total_drops());
+    for e in &router.trace().events {
+        d.u64(e.at);
+        d.bytes(format!("{:?}", e.step).as_bytes());
+    }
+    d.0
+}
+
+/// Known-good digest of `run_scenario` under the calendar-queue
+/// scheduler. Update only with an explained, intentional schedule
+/// change (see module docs).
+const GOLDEN_DIGEST: u64 = 0x4D47_0BA7_B68A_1105;
+
+#[test]
+fn robust_router_scenario_is_bit_identical_across_runs() {
+    let a = run_scenario();
+    let b = run_scenario();
+    assert_eq!(
+        a, b,
+        "two identical runs diverged: the scheduler is nondeterministic"
+    );
+}
+
+#[test]
+fn robust_router_scenario_matches_pinned_digest() {
+    let got = run_scenario();
+    assert_eq!(
+        got, GOLDEN_DIGEST,
+        "schedule changed: digest {got:#018X} != pinned {GOLDEN_DIGEST:#018X} \
+         (see module docs before re-pinning)"
+    );
+}

@@ -476,11 +476,14 @@ impl<W> Ixp<W> {
                     return;
                 }
                 Op::MemRead2(kind, bytes) => {
-                    let now = sched.now();
-                    let d0 = self.mem(kind).access(now, Rw::Read, bytes as usize);
-                    let d1 = self.mem(kind).access(now, Rw::Read, bytes as usize);
+                    // Paired reads issue back to back and the context
+                    // blocks on the batch: one wakeup at the last
+                    // completion (FIFO completions are nondecreasing).
+                    let done = self
+                        .mem(kind)
+                        .access_batch(sched.now(), Rw::Read, bytes as usize, 2);
                     self.block(c, CtxStatus::Blocked, sched);
-                    sched.at(d0.max(d1), IxpEv::CtxBlockDone(c));
+                    sched.at(done, IxpEv::CtxBlockDone(c));
                     return;
                 }
                 Op::MemWrite(kind, bytes) => {
@@ -759,10 +762,10 @@ mod tests {
     fn run(ixp: &mut Ixp<World>, world: &mut World, limit: Time) -> Time {
         let mut q = Q(EventQueue::new());
         ixp.start(world, &mut q);
-        while let Some((t, ev)) = q.0.pop() {
-            if t > limit {
-                break;
-            }
+        // Atomic deadline pop: an event past `limit` must not be
+        // consumed or advance the clock (the old peek-then-pop pattern
+        // did both).
+        while let Some((_, ev)) = q.0.pop_if_at_or_before(limit) {
             ixp.handle(ev, world, &mut q);
         }
         q.0.now()

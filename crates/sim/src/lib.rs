@@ -9,6 +9,10 @@
 //! values of a user-chosen type `E` and the owner of the [`EventQueue`]
 //! dispatches them. Ties in time are broken by insertion order, so a run
 //! is a pure function of its inputs.
+//!
+//! [`EventQueue`] is a hierarchical calendar queue; the original binary
+//! heap survives as [`OracleQueue`], the reference implementation the
+//! calendar is differentially tested against (DESIGN.md §6).
 
 pub mod queue;
 pub mod rng;
@@ -16,9 +20,9 @@ pub mod server;
 pub mod stats;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use queue::{CalendarQueue, EventQueue, OracleQueue};
 pub use rng::XorShift64;
-pub use server::Server;
+pub use server::{Server, Wakeup};
 pub use stats::{Counter, LogHistogram};
 pub use time::{
     cycles_to_ps, ps_to_cycles, Time, ME_HZ, PENTIUM_HZ, PS_PER_ME_CYCLE, PS_PER_PENTIUM_CYCLE,

@@ -1,7 +1,28 @@
-//! A stable-ordered discrete-event queue.
+//! Stable-ordered discrete-event queues.
+//!
+//! Two implementations share one contract — events pop in `(at, seq)`
+//! order, i.e. by timestamp with FIFO tie-breaking by insertion:
+//!
+//! * [`EventQueue`] (alias [`CalendarQueue`]): the production queue, a
+//!   hierarchical calendar. Near-future events hash into fixed-width
+//!   picosecond buckets on a timing wheel and are drained
+//!   FIFO-within-bucket; far-future events overflow into a sorted
+//!   spill heap and migrate onto the wheel as the horizon advances.
+//!   Scheduling into the wheel is O(1); popping is amortized O(1) for
+//!   the dense near-`now` event populations a router simulation
+//!   produces.
+//! * [`OracleQueue`]: the original `BinaryHeap` implementation, kept
+//!   as the reference for differential testing (see
+//!   `crates/sim/tests/differential.rs` and DESIGN.md §6). Every
+//!   ordering property of `EventQueue` is checked lock-step against
+//!   this oracle.
+//!
+//! Timestamps must stay below `u64::MAX - 2^22` picoseconds (about 200
+//! days of simulated time) so bucket arithmetic cannot overflow; the
+//! simulation's runs are in the millisecond range.
 
 use core::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Time;
 
@@ -31,7 +52,24 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic discrete-event queue over event type `E`.
+/// Log2 of the calendar bucket width in picoseconds. 4096 ps is below
+/// one MicroEngine cycle (5000 ps), so events issued on consecutive ME
+/// cycles never share a bucket and a same-timestamp burst drains FIFO
+/// out of a single bucket.
+const BUCKET_SHIFT: u32 = 12;
+
+/// Calendar bucket width in picoseconds.
+const BUCKET_WIDTH: Time = 1 << BUCKET_SHIFT;
+
+/// Wheel slots. The wheel covers `NUM_BUCKETS * BUCKET_WIDTH` (~2.1 us)
+/// of future time — enough for every memory, DMA, and compute latency
+/// in the chip model. Longer-range events (frame interarrivals,
+/// slow-path retries, idle parks) spill into the overflow heap.
+const NUM_BUCKETS: usize = 512;
+const BUCKET_MASK: u64 = NUM_BUCKETS as u64 - 1;
+
+/// A deterministic discrete-event queue over event type `E`, backed by
+/// a hierarchical calendar (timing wheel + overflow spill).
 ///
 /// The queue tracks the current simulation time: popping an event advances
 /// the clock to that event's timestamp. Scheduling an event in the past is
@@ -55,10 +93,30 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Sorted (by `(at, seq)`) drain region: every pending event with
+    /// `at < active_end`. Non-empty whenever the queue is non-empty.
+    active: VecDeque<Entry<E>>,
+    /// Exclusive upper time bound of `active` — the end of the bucket
+    /// the cursor sits on.
+    active_end: Time,
+    /// Wheel slot owning the bucket `[active_end - BUCKET_WIDTH,
+    /// active_end)`; always drained (its events live in `active`).
+    cursor: usize,
+    /// The timing wheel: slot `(at >> BUCKET_SHIFT) & BUCKET_MASK`
+    /// holds events of one bucket, in insertion (seq) order.
+    wheel: Vec<Vec<Entry<E>>>,
+    /// Events currently on the wheel (excluding `active`).
+    wheel_len: usize,
+    /// Spill level: events at or beyond the wheel horizon, sorted.
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    len: usize,
     seq: u64,
     now: Time,
 }
+
+/// The calendar implementation under its structural name (the
+/// differential tests compare `CalendarQueue` against [`OracleQueue`]).
+pub type CalendarQueue<E> = EventQueue<E>;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -67,6 +125,223 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            active: VecDeque::new(),
+            active_end: BUCKET_WIDTH,
+            cursor: 0,
+            wheel: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive upper time bound of the wheel; later events spill.
+    #[inline]
+    fn wheel_end(&self) -> Time {
+        self.active_end
+            .saturating_add((NUM_BUCKETS as Time - 1) * BUCKET_WIDTH)
+    }
+
+    /// Schedules `ev` at absolute time `at` (clamped to `now` if earlier).
+    pub fn schedule(&mut self, at: Time, ev: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Entry { at, seq, ev };
+        if at < self.active_end {
+            // Lands in the drain region: keep it sorted. The new entry
+            // carries the largest seq ever issued, so its position is
+            // after every existing entry at the same or an earlier
+            // timestamp — FIFO tie-break preserved by construction.
+            let idx = self.active.partition_point(|e| e.at <= at);
+            if idx == self.active.len() {
+                self.active.push_back(entry);
+            } else {
+                self.active.insert(idx, entry);
+            }
+        } else if at < self.wheel_end() {
+            let slot = ((at >> BUCKET_SHIFT) & BUCKET_MASK) as usize;
+            self.wheel[slot].push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+        self.len += 1;
+        if self.active.is_empty() {
+            // First event after the queue ran dry went past the cursor
+            // bucket: advance to it so `peek_time` stays O(1).
+            self.refill();
+        }
+    }
+
+    /// Schedules `ev` at `now() + delay`.
+    pub fn schedule_in(&mut self, delay: Time, ev: E) {
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = self.active.pop_front()?;
+        self.now = e.at;
+        self.len -= 1;
+        if self.active.is_empty() && self.len > 0 {
+            self.refill();
+        }
+        Some((e.at, e.ev))
+    }
+
+    /// Pops the next event only if its timestamp is at or before `t`.
+    ///
+    /// This is the atomic form of the `peek_time`-then-`pop` pattern:
+    /// callers bounding a run by a deadline must use it so an event
+    /// beyond the deadline is neither consumed nor allowed to advance
+    /// the clock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use npr_sim::EventQueue;
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule(10, "early");
+    /// q.schedule(90, "late");
+    /// assert_eq!(q.pop_if_at_or_before(50), Some((10, "early")));
+    /// assert_eq!(q.pop_if_at_or_before(50), None); // "late" stays queued.
+    /// assert_eq!(q.now(), 10);
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    pub fn pop_if_at_or_before(&mut self, t: Time) -> Option<(Time, E)> {
+        if self.peek_time()? > t {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Peeks at the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.active.front().map(|e| e.at)
+    }
+
+    /// Advances the cursor to the next occupied bucket and drains it
+    /// into `active`. Caller guarantees `active` is empty; leaves it
+    /// non-empty whenever the queue holds events.
+    fn refill(&mut self) {
+        debug_assert!(self.active.is_empty());
+        if self.wheel_len == 0 {
+            // The wheel is dry: jump straight to the bucket of the
+            // earliest spill event instead of rotating through empty
+            // slots.
+            let Some(Reverse(head)) = self.overflow.peek() else {
+                return;
+            };
+            let bucket = head.at >> BUCKET_SHIFT;
+            self.cursor = (bucket & BUCKET_MASK) as usize;
+            self.active_end = (bucket + 1) << BUCKET_SHIFT;
+            self.migrate_overflow();
+            self.drain_cursor();
+            debug_assert!(!self.active.is_empty());
+            return;
+        }
+        // Rotate to the next occupied slot; every wheel event is within
+        // one rotation of the cursor by construction.
+        for _ in 0..NUM_BUCKETS {
+            self.cursor = (self.cursor + 1) & (NUM_BUCKETS - 1);
+            self.active_end += BUCKET_WIDTH;
+            // The slot just vacated behind the cursor now maps one full
+            // horizon ahead: pull any spill events that fall inside it.
+            self.migrate_overflow();
+            if !self.wheel[self.cursor].is_empty() {
+                self.drain_cursor();
+                return;
+            }
+        }
+        unreachable!("wheel_len > 0 but no occupied bucket within one rotation");
+    }
+
+    /// Moves every spill event now inside the wheel horizon onto the
+    /// wheel, preserving the overflow invariant `at >= wheel_end()`.
+    fn migrate_overflow(&mut self) {
+        let wheel_end = self.wheel_end();
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if head.at >= wheel_end {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            let slot = ((e.at >> BUCKET_SHIFT) & BUCKET_MASK) as usize;
+            self.wheel[slot].push(e);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Drains the cursor's bucket into `active` in `(at, seq)` order.
+    fn drain_cursor(&mut self) {
+        let cursor = self.cursor;
+        let slot = &mut self.wheel[cursor];
+        // Keys are unique (seq is), so an unstable sort is
+        // deterministic; within one timestamp seq order == FIFO order.
+        slot.sort_unstable_by_key(|e| (e.at, e.seq));
+        self.wheel_len -= slot.len();
+        self.active.extend(slot.drain(..));
+    }
+}
+
+/// The reference discrete-event queue: a plain `BinaryHeap` ordered by
+/// `(at, seq)`.
+///
+/// This is the original `EventQueue` implementation, kept verbatim as
+/// the differential-testing oracle: its ordering behavior is trivially
+/// auditable, so [`EventQueue`] is required (by the property suite in
+/// `crates/sim/tests/differential.rs` and by the lock-step check in the
+/// `simbench` binary) to reproduce its pop sequence exactly on any
+/// interleaving of operations.
+///
+/// # Examples
+///
+/// ```
+/// use npr_sim::OracleQueue;
+///
+/// let mut q: OracleQueue<&str> = OracleQueue::new();
+/// q.schedule(10, "b");
+/// q.schedule(5, "a");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// ```
+#[derive(Debug)]
+pub struct OracleQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for OracleQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> OracleQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         Self {
@@ -113,6 +388,15 @@ impl<E> EventQueue<E> {
         Some((e.at, e.ev))
     }
 
+    /// Pops the next event only if its timestamp is at or before `t`
+    /// (see [`EventQueue::pop_if_at_or_before`]).
+    pub fn pop_if_at_or_before(&mut self, t: Time) -> Option<(Time, E)> {
+        if self.peek_time()? > t {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Peeks at the timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|Reverse(e)| e.at)
@@ -141,6 +425,20 @@ mod tests {
         }
         for i in 0..100 {
             assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn ties_are_fifo_across_bucket_refill() {
+        // Ties landing on the wheel (beyond the first bucket) must
+        // still drain in insertion order after the bucket sort.
+        let at = 7 * BUCKET_WIDTH + 13;
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.schedule(at, i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop(), Some((at, i)));
         }
     }
 
@@ -207,5 +505,123 @@ mod tests {
         assert_eq!(seen[0], 0);
         assert_eq!(seen[1], 1);
         assert_eq!(seen[2], 100);
+    }
+
+    #[test]
+    fn far_future_events_spill_and_return() {
+        // Events beyond the wheel horizon take the overflow path and
+        // come back in order as the horizon advances.
+        let horizon = NUM_BUCKETS as Time * BUCKET_WIDTH;
+        let mut q = EventQueue::new();
+        q.schedule(3 * horizon, "far");
+        q.schedule(10, "near");
+        q.schedule(7 * horizon, "farther");
+        q.schedule(horizon + 1, "mid");
+        assert_eq!(q.pop(), Some((10, "near")));
+        assert_eq!(q.pop(), Some((horizon + 1, "mid")));
+        assert_eq!(q.pop(), Some((3 * horizon, "far")));
+        assert_eq!(q.pop(), Some((7 * horizon, "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sparse_wheel_jumps_instead_of_rotating() {
+        // Two events a simulated second apart (many thousand
+        // rotations): the dry-wheel jump must land exactly.
+        let mut q = EventQueue::new();
+        q.schedule(5, 0);
+        q.schedule(1_000_000_000_000, 1);
+        assert_eq!(q.pop(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((1_000_000_000_000, 1)));
+        assert_eq!(q.now(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn schedule_at_now_lands_before_later_active_events() {
+        // After a refill jump, scheduling at `now` (earlier than the
+        // events already drained into the active region is impossible,
+        // but earlier than wheel events is not) must still pop first.
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        assert_eq!(q.pop(), Some((10, "a")));
+        q.schedule(5_000_000, "late");
+        q.schedule(11, "soon"); // Earlier than "late", after a refill.
+        assert_eq!(q.pop(), Some((11, "soon")));
+        assert_eq!(q.pop(), Some((5_000_000, "late")));
+    }
+
+    #[test]
+    fn pop_if_at_or_before_is_atomic() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop_if_at_or_before(15), Some((10, 1)));
+        // The deadline-crossing event is neither consumed nor does it
+        // advance the clock.
+        assert_eq!(q.pop_if_at_or_before(15), None);
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_if_at_or_before(20), Some((20, 2)));
+    }
+
+    #[test]
+    fn oracle_pop_if_at_or_before_is_atomic() {
+        let mut q = OracleQueue::new();
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop_if_at_or_before(15), Some((10, 1)));
+        assert_eq!(q.pop_if_at_or_before(15), None);
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop_if_at_or_before(20), Some((20, 2)));
+    }
+
+    #[test]
+    fn oracle_pops_in_time_order_with_fifo_ties() {
+        let mut q = OracleQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(10, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((10, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn calendar_matches_oracle_on_a_mixed_stream() {
+        // A quick in-module differential check; the exhaustive version
+        // lives in tests/differential.rs.
+        let mut rng = crate::rng::XorShift64::new(0xC0FFEE);
+        let mut cal = EventQueue::new();
+        let mut ora = OracleQueue::new();
+        for i in 0..5_000u64 {
+            match rng.below(4) {
+                0..=1 => {
+                    let delay = match rng.below(3) {
+                        0 => rng.below(200),                  // Intra-bucket.
+                        1 => rng.below(100) * BUCKET_WIDTH,   // Across slots.
+                        _ => rng.below(20) * 1_000_000,       // Spill level.
+                    };
+                    let at = cal.now() + delay;
+                    cal.schedule(at, i);
+                    ora.schedule(at, i);
+                }
+                2 => {
+                    assert_eq!(cal.pop(), ora.pop());
+                }
+                _ => {
+                    assert_eq!(cal.peek_time(), ora.peek_time());
+                    assert_eq!(cal.len(), ora.len());
+                }
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), ora.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(cal.now(), ora.now());
     }
 }

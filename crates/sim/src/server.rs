@@ -61,6 +61,32 @@ impl Server {
         start + latency
     }
 
+    /// Admits `n` identical jobs arriving together at `now` and returns
+    /// the completion time of the *last* one.
+    ///
+    /// Completion times of a FIFO batch are nondecreasing, so a caller
+    /// that would have scheduled one wakeup per job can schedule a
+    /// single wakeup at the returned time instead. Per-job statistics
+    /// (`jobs`, `busy_ps`, `queued_ps`) accumulate exactly as if
+    /// [`Server::admit`] had been called `n` times.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use npr_sim::Server;
+    ///
+    /// let mut dram = Server::new("dram");
+    /// assert_eq!(dram.admit_batch(0, 8, 52, 3), 68);
+    /// assert_eq!(dram.jobs(), 3);
+    /// ```
+    pub fn admit_batch(&mut self, now: Time, occupancy: Time, latency: Time, n: u32) -> Time {
+        let mut done = now;
+        for _ in 0..n {
+            done = self.admit(now, occupancy, latency);
+        }
+        done
+    }
+
     /// The earliest time a new job could start service.
     #[inline]
     pub fn free_at(&self) -> Time {
@@ -101,6 +127,69 @@ impl Server {
         self.busy_ps = 0;
         self.jobs = 0;
         self.queued_ps = 0;
+    }
+}
+
+/// Batches wakeup events that share a timestamp.
+///
+/// Polling components (the StrongARM slow path, the Pentium dispatcher)
+/// are woken by many producers, and several completions frequently land
+/// on the same picosecond — each used to schedule its own wakeup event
+/// even though the poll handler drains all available work on its first
+/// run and the duplicates dispatch as no-ops. A `Wakeup` remembers the
+/// one wakeup currently scheduled and suppresses exact same-timestamp
+/// duplicates, shrinking the event population without changing any
+/// observable schedule:
+///
+/// * Duplicate suppression only happens while the armed wakeup is still
+///   queued, and a queued event at time `t` always has a smaller seq
+///   than the producer requesting at `t` (the producer is executing, so
+///   it already popped) — the armed wakeup therefore runs *after* the
+///   producer and sees its work.
+/// * Dedup is best effort: a request at a different timestamp re-arms
+///   and may leave a stale queued wakeup behind, which dispatches as
+///   the same idempotent no-op it was before this type existed.
+///
+/// # Examples
+///
+/// ```
+/// use npr_sim::Wakeup;
+///
+/// let mut w = Wakeup::new();
+/// assert!(w.request(100));  // Caller schedules the event at t=100.
+/// assert!(!w.request(100)); // Coalesced: a t=100 wakeup is queued.
+/// assert!(w.request(250));  // Different time: schedule again.
+/// w.fire(250);              // The t=250 event dispatched.
+/// assert!(w.request(250));  // No longer queued, so schedule anew.
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Wakeup {
+    armed: Option<Time>,
+}
+
+impl Wakeup {
+    /// A coalescer with no wakeup armed.
+    pub const fn new() -> Self {
+        Self { armed: None }
+    }
+
+    /// Requests a wakeup at `t`. Returns `true` if the caller must
+    /// schedule the event, `false` if an identical wakeup is already
+    /// queued.
+    pub fn request(&mut self, t: Time) -> bool {
+        if self.armed == Some(t) {
+            return false;
+        }
+        self.armed = Some(t);
+        true
+    }
+
+    /// Records that the wakeup event stamped `t` has dispatched. Call
+    /// this first thing in the wakeup handler.
+    pub fn fire(&mut self, t: Time) {
+        if self.armed == Some(t) {
+            self.armed = None;
+        }
     }
 }
 
@@ -163,5 +252,50 @@ mod tests {
         assert_eq!(s.jobs(), 0);
         // Clock state is preserved.
         assert_eq!(s.free_at(), 10);
+    }
+
+    #[test]
+    fn admit_batch_equals_repeated_admit() {
+        let mut batched = Server::new("b");
+        let mut serial = Server::new("s");
+        let last = batched.admit_batch(100, 8, 52, 4);
+        let mut serial_last = 0;
+        for _ in 0..4 {
+            serial_last = serial.admit(100, 8, 52);
+        }
+        assert_eq!(last, serial_last);
+        assert_eq!(batched.free_at(), serial.free_at());
+        assert_eq!(batched.jobs(), serial.jobs());
+        assert_eq!(batched.busy_ps(), serial.busy_ps());
+        assert_eq!(batched.queued_ps(), serial.queued_ps());
+    }
+
+    #[test]
+    fn admit_batch_of_zero_completes_at_now() {
+        let mut s = Server::new("t");
+        assert_eq!(s.admit_batch(70, 8, 52, 0), 70);
+        assert_eq!(s.jobs(), 0);
+    }
+
+    #[test]
+    fn wakeup_coalesces_same_timestamp_only() {
+        let mut w = Wakeup::new();
+        assert!(w.request(10));
+        assert!(!w.request(10)); // Exact duplicate suppressed.
+        assert!(w.request(20)); // New timestamp re-arms.
+        assert!(!w.request(20));
+        w.fire(20);
+        assert!(w.request(20)); // After dispatch, schedule anew.
+    }
+
+    #[test]
+    fn wakeup_fire_ignores_stale_timestamps() {
+        let mut w = Wakeup::new();
+        assert!(w.request(10));
+        assert!(w.request(30)); // Re-armed; the t=10 event is now stale.
+        w.fire(10); // Stale dispatch must not disarm the t=30 wakeup.
+        assert!(!w.request(30));
+        w.fire(30);
+        assert!(w.request(30));
     }
 }

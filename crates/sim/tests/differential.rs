@@ -1,0 +1,276 @@
+//! Differential oracle suite: the calendar [`CalendarQueue`] must be
+//! observationally identical to the reference [`OracleQueue`] (the
+//! original binary heap) on any interleaving of operations.
+//!
+//! Every property drives both queues lock-step through a seed-derived
+//! stream of `schedule`/`pop`/`peek` operations and compares every
+//! observable: popped `(time, value)` pairs (values are unique, so a
+//! seq tie-break divergence cannot hide), `peek_time`, `len`, and the
+//! clock. Timestamp regimes are chosen adversarially for a calendar
+//! queue: clusters of duplicate timestamps inside one bucket, streams
+//! straddling bucket boundaries, and far-future spikes that exercise
+//! the overflow spill level and the dry-wheel jump.
+
+use npr_check::prelude::*;
+use npr_sim::{CalendarQueue, OracleQueue, Time, XorShift64};
+
+/// Bucket geometry mirrored from `queue.rs` (private there): widths
+/// chosen here only to aim timestamps at calendar edge cases, never
+/// used for correctness.
+const BUCKET: Time = 4096;
+const HORIZON: Time = 512 * BUCKET;
+
+/// One operation on both queues.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Schedule(Time),
+    ScheduleIn(Time),
+    Pop,
+    Peek,
+}
+
+/// A timestamp-delta distribution (relative to the queue clock).
+#[derive(Debug, Clone, Copy)]
+enum Regime {
+    /// Duplicate-heavy cluster: few distinct timestamps, many ties.
+    Clustered,
+    /// Dense near-future spread across a handful of buckets.
+    Near,
+    /// Exact bucket-boundary multiples.
+    Boundary,
+    /// Beyond the wheel horizon (overflow spill path).
+    FarFuture,
+    /// Everything at once.
+    Mixed,
+}
+
+fn delta(rng: &mut XorShift64, regime: Regime) -> Time {
+    match regime {
+        Regime::Clustered => rng.below(4) * 17,
+        Regime::Near => rng.below(8 * BUCKET),
+        Regime::Boundary => rng.below(16) * BUCKET,
+        Regime::FarFuture => HORIZON + rng.below(64) * HORIZON,
+        Regime::Mixed => match rng.below(4) {
+            0 => delta(rng, Regime::Clustered),
+            1 => delta(rng, Regime::Near),
+            2 => delta(rng, Regime::Boundary),
+            _ => delta(rng, Regime::FarFuture),
+        },
+    }
+}
+
+/// Builds a seed-derived operation stream: schedule-biased so the
+/// queues grow, with pops and peeks interleaved throughout.
+fn stream(seed: u64, regime: Regime, len: usize) -> Vec<Op> {
+    let mut rng = XorShift64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0..=3 => Op::Schedule(delta(&mut rng, regime)),
+            4 => Op::ScheduleIn(delta(&mut rng, regime)),
+            5..=6 => Op::Pop,
+            _ => Op::Peek,
+        })
+        .collect()
+}
+
+/// Runs `ops` against both queues lock-step, comparing every
+/// observable, then drains both and compares the full tail. Returns
+/// the number of events popped (so callers can assert coverage).
+fn run_differential(ops: &[Op]) -> Result<usize, String> {
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut ora: OracleQueue<u64> = OracleQueue::new();
+    let mut next_val = 0u64;
+    let mut popped = 0usize;
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Schedule(d) => {
+                // Absolute time from the shared clock: both queues see
+                // the identical (at, value) pair.
+                let at = cal.now() + d;
+                cal.schedule(at, next_val);
+                ora.schedule(at, next_val);
+                next_val += 1;
+            }
+            Op::ScheduleIn(d) => {
+                cal.schedule_in(d, next_val);
+                ora.schedule_in(d, next_val);
+                next_val += 1;
+            }
+            Op::Pop => {
+                let (a, b) = (cal.pop(), ora.pop());
+                if a != b {
+                    return Err(format!("op {i}: pop {a:?} != oracle {b:?}"));
+                }
+                popped += usize::from(a.is_some());
+            }
+            Op::Peek => {
+                if cal.peek_time() != ora.peek_time() {
+                    return Err(format!(
+                        "op {i}: peek {:?} != oracle {:?}",
+                        cal.peek_time(),
+                        ora.peek_time()
+                    ));
+                }
+            }
+        }
+        if cal.len() != ora.len() {
+            return Err(format!("op {i}: len {} != oracle {}", cal.len(), ora.len()));
+        }
+        if cal.now() != ora.now() {
+            return Err(format!("op {i}: now {} != oracle {}", cal.now(), ora.now()));
+        }
+    }
+    // Drain the tails: the full remaining pop sequences must agree.
+    loop {
+        let (a, b) = (cal.pop(), ora.pop());
+        if a != b {
+            return Err(format!("drain: pop {a:?} != oracle {b:?}"));
+        }
+        match a {
+            Some(_) => popped += 1,
+            None => break,
+        }
+    }
+    if cal.now() != ora.now() {
+        return Err(format!("drain: now {} != oracle {}", cal.now(), ora.now()));
+    }
+    Ok(popped)
+}
+
+fn check_regime(seed: u64, regime: Regime) -> Result<(), String> {
+    let ops = stream(seed, regime, 400);
+    let popped = run_differential(&ops)?;
+    // Schedule-biased streams must actually exercise pops.
+    if popped == 0 {
+        return Err("stream popped nothing".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clustered_duplicate_timestamps_match_oracle(seed: u64) {
+        prop_assert_eq!(check_regime(seed, Regime::Clustered), Ok(()));
+    }
+
+    #[test]
+    fn near_future_streams_match_oracle(seed: u64) {
+        prop_assert_eq!(check_regime(seed, Regime::Near), Ok(()));
+    }
+
+    #[test]
+    fn bucket_boundary_timestamps_match_oracle(seed: u64) {
+        prop_assert_eq!(check_regime(seed, Regime::Boundary), Ok(()));
+    }
+
+    #[test]
+    fn far_future_spill_matches_oracle(seed: u64) {
+        prop_assert_eq!(check_regime(seed, Regime::FarFuture), Ok(()));
+    }
+
+    #[test]
+    fn mixed_adversarial_streams_match_oracle(seed: u64) {
+        prop_assert_eq!(check_regime(seed, Regime::Mixed), Ok(()));
+    }
+
+    #[test]
+    fn reschedule_from_dispatch_matches_oracle(seed: u64) {
+        // The simulator's dominant pattern: every pop schedules new
+        // work relative to the popped timestamp (hold model). Ties are
+        // forced regularly to stress the FIFO tie-break.
+        let mut rng = XorShift64::new(seed);
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut ora: OracleQueue<u64> = OracleQueue::new();
+        for v in 0..16u64 {
+            let at = rng.below(2 * BUCKET);
+            cal.schedule(at, v);
+            ora.schedule(at, v);
+        }
+        let mut next_val = 16u64;
+        for _ in 0..600 {
+            let (a, b) = (cal.pop(), ora.pop());
+            prop_assert_eq!(a, b);
+            let Some((t, _)) = a else { break };
+            let n_children = rng.below(2) + usize::from(next_val < 200) as u64;
+            for _ in 0..n_children {
+                let d = match rng.below(5) {
+                    0 => 0, // Duplicate `at`: same-timestamp tie.
+                    1..=2 => rng.below(3 * BUCKET),
+                    3 => rng.below(8) * BUCKET,
+                    _ => HORIZON + rng.below(4) * HORIZON,
+                };
+                cal.schedule(t + d, next_val);
+                ora.schedule(t + d, next_val);
+                next_val += 1;
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), ora.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(cal.now(), ora.now());
+    }
+
+    #[test]
+    fn pop_if_at_or_before_matches_oracle(seed: u64) {
+        // Deadline-bounded draining (the router's run_until pattern).
+        let mut rng = XorShift64::new(seed);
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut ora: OracleQueue<u64> = OracleQueue::new();
+        for v in 0..300u64 {
+            let at = delta(&mut rng, Regime::Mixed);
+            cal.schedule(at, v);
+            ora.schedule(at, v);
+        }
+        let mut deadline = 0;
+        while !cal.is_empty() || !ora.is_empty() {
+            deadline += rng.below(2 * HORIZON);
+            loop {
+                let (a, b) = (
+                    cal.pop_if_at_or_before(deadline),
+                    ora.pop_if_at_or_before(deadline),
+                );
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(cal.len(), ora.len());
+            prop_assert_eq!(cal.now(), ora.now());
+        }
+    }
+}
+
+/// The tie-break contract stated directly (not just "same as oracle"):
+/// equal timestamps pop in insertion order.
+#[test]
+fn duplicate_timestamps_pop_in_insertion_order() {
+    let mut rng = XorShift64::new(7);
+    let mut cal: CalendarQueue<(Time, u64)> = CalendarQueue::new();
+    let mut by_time: std::collections::BTreeMap<Time, Vec<u64>> = Default::default();
+    for v in 0..2_000u64 {
+        // 32 distinct timestamps across bucket and horizon boundaries,
+        // so every storage level sees heavy duplication.
+        let at = match rng.below(4) {
+            0 => rng.below(4) * 13,
+            1 => BUCKET - 1 + rng.below(4),
+            2 => rng.below(4) * BUCKET,
+            _ => HORIZON + rng.below(4) * HORIZON,
+        };
+        cal.schedule(at, (at, v));
+        by_time.entry(at).or_default().push(v);
+    }
+    for (expect_t, expect_vals) in by_time {
+        for expect_v in expect_vals {
+            let (t, (at, v)) = cal.pop().expect("queue holds all scheduled events");
+            assert_eq!(t, at);
+            assert_eq!((t, v), (expect_t, expect_v));
+        }
+    }
+    assert!(cal.is_empty());
+}

@@ -19,6 +19,26 @@ cargo build --release --offline --benches --examples
 # exactly once without timing.
 cargo bench --offline --bench paper -- --test
 
+# The differential-oracle suite is the scheduler's correctness gate: it
+# must run (not just compile) and actually execute its properties. A
+# filtered-out or skipped suite fails this step.
+diff_out="$(cargo test -q --offline -p npr-sim --test differential 2>&1)" || {
+    echo "$diff_out"
+    echo "ERROR: differential-oracle suite failed" >&2
+    exit 1
+}
+echo "$diff_out"
+if ! echo "$diff_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+    echo "ERROR: differential-oracle suite ran zero tests" >&2
+    exit 1
+fi
+
+# Record the scheduler perf baseline: events/sec (calendar vs oracle)
+# and per-experiment wall-clock. simbench exits nonzero if the calendar
+# queue diverges from the oracle, failing verification.
+cargo run --release --offline --bin simbench -- --quick --out BENCH_sim.json
+
+
 # Hermetic-build gate: the dependency graph may contain only workspace
 # crates. Check both the resolved tree and the lockfile.
 if cargo tree --offline --workspace --edges normal,dev,build --prefix none \
