@@ -5,13 +5,15 @@
 //!   table1 table2 table3 table4 table5
 //!   fig7 fig9 fig10
 //!   linerate strongarm robustness flood budget slowpath baseline
+//!   faults [--out PATH]
 //!   all
 //! ```
 
 use npr_bench::fmt;
 use npr_bench::{
-    baseline, budget, fig10, fig7, fig9, flood, linerate, robustness, slowpath, strongarm, table1,
-    table2, table3, table4, table5_rows, WARMUP, WINDOW,
+    baseline, budget, curves_json, fault_curves, fig10, fig7, fig9, flood, linerate, robustness,
+    slowpath, strongarm, table1, table2, table3, table4, table5_rows, DEGRADE_RATES, WARMUP,
+    WINDOW,
 };
 use npr_forwarders::PadKind;
 
@@ -25,6 +27,8 @@ fn main() {
              \n  fig7 fig9 fig10                      the paper's figures\
              \n  linerate strongarm robustness flood  section 3.5/3.6/4.7\
              \n  budget slowpath baseline             section 4.3/4.4 + baselines\
+             \n  faults [--out PATH]                  graceful degradation under the\
+             \n                                       fault plane (PATH gets the JSON)\
              \n  all                                  everything (default)\n\
              \nSee also the `ablations` binary for beyond-the-paper studies."
         );
@@ -187,6 +191,31 @@ fn main() {
             "{}",
             fmt::rows("Section 4.4: slow-path forwarder costs", &slowpath())
         );
+    }
+    if all || which == "faults" {
+        let curves = fault_curves(DEGRADE_RATES, WARMUP, WINDOW);
+        println!("\n== Fault plane: graceful degradation (seed-fixed sweeps) ==");
+        for c in &curves {
+            let pts: Vec<(f64, f64)> = c
+                .rates_ppm
+                .iter()
+                .zip(&c.mpps)
+                .map(|(&r, &m)| (f64::from(r), m))
+                .collect();
+            println!(
+                "{}",
+                fmt::series(&format!("{:?}", c.class), "fault ppm", &pts, "Mpps")
+            );
+        }
+        println!("(degradation must be monotone with no cliff; see crates/sim/src/fault.rs)");
+        if let Some(p) = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+        {
+            std::fs::write(p, curves_json(&curves)).expect("write BENCH_faults.json");
+            eprintln!("wrote {p}");
+        }
     }
     if all || which == "baseline" {
         let b = baseline(WARMUP, WINDOW);

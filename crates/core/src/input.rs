@@ -156,6 +156,20 @@ impl InputLoop {
 
         if self.starts {
             self.mp_index = 0;
+            // A new frame on this port proves any unfinished assembly
+            // there is dead — its final MP never arrived (dropped on
+            // the wire or mislabeled by a corrupted tag). Abort it so
+            // downstream stages discard the packet instead of waiting
+            // forever for MPs that will never come.
+            if let Some(old) = w.port_assembly[usize::from(mp.port)].take() {
+                if old != mp.frame_id {
+                    if let Some(a) = w.assembly.remove(&old) {
+                        if w.pool.read(a.buf).is_some() {
+                            w.meta_mut(a.buf).aborted = true;
+                        }
+                    }
+                }
+            }
             // --- Header validation (the classifier's job). ---
             let bytes = &mp.data[..usize::from(mp.len)];
             let Ok(eth) = EthernetFrame::parse(bytes) else {
@@ -407,15 +421,29 @@ impl InputLoop {
             self.qid = w.queues.qid(usize::from(out_port), prio);
             w.meta_mut(h).qid = self.qid as u16;
             if !mp.tag.ends_packet() {
+                // `next_mp: 1` — this starting MP claims slot 0 here.
                 w.assembly
-                    .insert(mp.frame_id, crate::world::Assembly { buf: h, next_mp: 0 });
+                    .insert(mp.frame_id, crate::world::Assembly { buf: h, next_mp: 1 });
+                w.port_assembly[usize::from(mp.port)] = Some(mp.frame_id);
             }
         } else {
-            // Continuation MP: find the assembly record.
-            match w.assembly.get(&mp.frame_id).copied() {
-                Some(a) => {
-                    self.buf = Some(a.buf);
-                    self.mp_index = a.next_mp;
+            // Continuation MP: find the assembly record and claim this
+            // MP's buffer slot immediately. The claim must be atomic
+            // with the lookup: once a stall (ISTORE install, memory
+            // fault) backs MPs up in the rx buffer, sibling contexts
+            // drain them back-to-back and the next MP of this frame
+            // enters protocol processing before our DRAM write lands —
+            // a deferred `next_mp` write-back would hand both MPs the
+            // same offset and silently corrupt the reassembled packet.
+            let claimed = w.assembly.get_mut(&mp.frame_id).map(|a| {
+                let idx = a.next_mp;
+                a.next_mp += 1;
+                (a.buf, idx)
+            });
+            match claimed {
+                Some((buf, idx)) => {
+                    self.buf = Some(buf);
+                    self.mp_index = idx;
                     // General ME forwarders also see continuation MPs
                     // (whole-packet transformations).
                     let gen: Vec<_> = w.classifier.general_entries().copied().collect();
@@ -431,7 +459,10 @@ impl InputLoop {
                     }
                 }
                 None => {
-                    // First MP was dropped or lapped; discard silently.
+                    // First MP was dropped or lapped. The packet-level
+                    // drop was counted where the first MP died; this
+                    // ledger makes the MP's own destruction visible.
+                    w.counters.orphan_mp_drops.inc();
                     self.verdict = Verdict::Drop;
                     self.buf = None;
                 }
@@ -450,22 +481,35 @@ impl InputLoop {
             .write_at(h, off, &mp.data[..usize::from(mp.len)])
             .is_none()
         {
-            w.counters.lap_losses.inc();
+            // The buffer lapped mid-assembly. Tear the assembly down so
+            // later MPs of this frame become (counted) orphans instead
+            // of re-hitting the stale handle.
+            w.assembly.remove(&mp.frame_id);
+            if w.port_assembly[usize::from(mp.port)] == Some(mp.frame_id) {
+                w.port_assembly[usize::from(mp.port)] = None;
+            }
+            if self.starts {
+                // Not yet admitted: this is the packet's one drop site.
+                w.counters.input_lap_drops.inc();
+            }
+            // Already-admitted packets are counted once, downstream,
+            // when their stale descriptor is dequeued and read.
             self.verdict = Verdict::Drop;
             return;
         }
         let meta = w.meta_mut(h);
         meta.len += u16::from(mp.len);
-        meta.mps_written = self.mp_index + 1;
+        // Count of MPs landed in DRAM, not highest index: slots were
+        // claimed in `protocol`, so concurrent same-frame writes may
+        // complete out of order, and `written == total` must mean
+        // "every MP is in DRAM" before the SA touches the bytes.
+        meta.mps_written += 1;
         if mp.tag.ends_packet() {
             meta.mps_total = self.mp_index + 1;
             w.assembly.remove(&mp.frame_id);
-        } else if !self.starts {
-            if let Some(a) = w.assembly.get_mut(&mp.frame_id) {
-                a.next_mp = self.mp_index + 1;
+            if w.port_assembly[usize::from(mp.port)] == Some(mp.frame_id) {
+                w.port_assembly[usize::from(mp.port)] = None;
             }
-        } else if let Some(a) = w.assembly.get_mut(&mp.frame_id) {
-            a.next_mp = 1;
         }
     }
 

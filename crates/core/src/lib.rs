@@ -54,7 +54,7 @@ pub use costs::{InputCosts, OutputCosts, PeCosts, SaCosts, INPUT_MEM_OPS, OUTPUT
 pub use fabric::Fabric;
 pub use install::{AdmitError, Fid, InstallRequest};
 pub use queues::{InputDiscipline, OutputDiscipline, PacketQueue, QueuePlane};
-pub use router::{ms, us, Report, Router};
+pub use router::{ms, us, Conservation, Report, Router};
 pub use trace::{TraceEvent, TraceStep, Tracer};
 pub use wfq::{WfqMapper, WfqState};
 pub use world::{Escalation, RouterWorld, RunMode};

@@ -23,6 +23,13 @@ const POLL_IDLE_CYCLES: u64 = 100;
 /// been written by the input side.
 const CUT_THROUGH_WAIT_CYCLES: u64 = 400;
 
+/// Consecutive cut-through waits tolerated before the packet is
+/// declared dead (its remaining MPs are never coming — a truncated
+/// frame the abort path missed). 128 polls x 400 cycles ~ 256 us,
+/// orders of magnitude beyond any legitimate inter-MP gap, so the
+/// watchdog never fires on live traffic.
+const CUT_THROUGH_MAX_POLLS: u32 = 128;
+
 /// Extra select cycles when a batched context must refill its batch
 /// (head-pointer fetch, range arithmetic); batch hits are discounted.
 /// The averages at the default batch depth reproduce the O.1 constants.
@@ -72,6 +79,8 @@ pub struct OutputLoop {
     pending_mp: Option<Mp>,
     staged_tag: MpTag,
     scratch_w_left: u32,
+    /// Consecutive cut-through waits on the current packet.
+    wait_polls: u32,
 
     /// Register cycles issued.
     pub reg_issued: u64,
@@ -112,6 +121,7 @@ impl OutputLoop {
             pending_mp: None,
             staged_tag: MpTag::Only,
             scratch_w_left: 0,
+            wait_polls: 0,
             reg_issued: 0,
             reg_published: 0,
             mps_done: 0,
@@ -201,6 +211,12 @@ impl OutputLoop {
         let cur = self.current.ok_or(())?;
         let k = cur.next_mp;
         let meta = *w.meta_of(cur.buf);
+        if meta.aborted {
+            // Assembly died (truncated frame / corrupted tag): the
+            // remaining MPs will never be written. Discard.
+            w.counters.truncated_drops.inc();
+            return Err(());
+        }
         if meta.mps_total != 0 && k >= meta.mps_total {
             return Err(());
         }
@@ -348,15 +364,28 @@ impl CtxProgram<RouterWorld> for OutputLoop {
                 Phase::AddrCalc => {
                     match self.stage_mp(env.world) {
                         Ok(true) => {
+                            self.wait_polls = 0;
                             self.phase = Phase::DramRead1;
                         }
                         Ok(false) => {
-                            // Cut-through: wait for the input side.
+                            // Cut-through: wait for the input side —
+                            // but not forever. A frame whose tail was
+                            // lost would otherwise head-of-line block
+                            // this port silently.
+                            self.wait_polls += 1;
+                            if self.wait_polls > CUT_THROUGH_MAX_POLLS {
+                                self.wait_polls = 0;
+                                env.world.counters.truncated_drops.inc();
+                                self.current = None;
+                                self.phase = Phase::LoopEnd;
+                                continue;
+                            }
                             self.phase = Phase::AddrCalc;
                             return Op::Idle(cycles_to_ps(CUT_THROUGH_WAIT_CYCLES));
                         }
                         Err(()) => {
                             // Lost or complete: next packet.
+                            self.wait_polls = 0;
                             self.current = None;
                             self.phase = Phase::LoopEnd;
                             continue;

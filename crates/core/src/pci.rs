@@ -11,13 +11,21 @@
 //! bus, not the StrongARM, becomes the bottleneck — reproducing Table
 //! 4's 43.6 Kpps row.
 
-use npr_sim::{Server, Time, PS_PER_SEC};
+use npr_sim::{FaultClass, FaultPlan, Server, Time, PS_PER_SEC};
 
 /// PCI payload bandwidth: 32 bit x 33 MHz = 132 MB/s.
 pub const PCI_BYTES_PER_SEC: u64 = 132_000_000;
 
 /// Per-transaction overhead (arbitration, address phase, DMA setup).
 pub const PCI_TXN_OVERHEAD_PS: Time = 300_000; // 300 ns.
+
+/// Master back-off before retrying an aborted transaction.
+pub const PCI_RETRY_BACKOFF_PS: Time = 1_000_000; // 1 us.
+
+/// Retries before the bridge escalates to a locked transaction that
+/// cannot be aborted (bounds the wasted bus time per packet and keeps
+/// the path lossless even at a 100% injected error rate).
+pub const PCI_MAX_RETRIES: u32 = 4;
 
 /// The internal routing header prepended to packets crossing the bus
 /// ("an 8-byte internal routing header that informs the Pentium of (1)
@@ -34,6 +42,8 @@ pub struct Pci {
     capacity: usize,
     bytes_moved: u64,
     transfers: u64,
+    errors: u64,
+    retries: u64,
 }
 
 impl Pci {
@@ -45,7 +55,14 @@ impl Pci {
             capacity: buffers,
             bytes_moved: 0,
             transfers: 0,
+            errors: 0,
+            retries: 0,
         }
+    }
+
+    /// Bus occupancy of one transaction of `bytes`.
+    fn occupancy_ps(bytes: usize) -> Time {
+        PCI_TXN_OVERHEAD_PS + bytes as u64 * 8 * PS_PER_SEC / (PCI_BYTES_PER_SEC * 8)
     }
 
     /// Admits a DMA of `bytes` at `now`; returns its completion time.
@@ -53,8 +70,45 @@ impl Pci {
     pub fn transfer(&mut self, now: Time, bytes: usize) -> Time {
         self.bytes_moved += bytes as u64;
         self.transfers += 1;
-        let occ = PCI_TXN_OVERHEAD_PS + bytes as u64 * 8 * PS_PER_SEC / (PCI_BYTES_PER_SEC * 8);
+        let occ = Self::occupancy_ps(bytes);
         self.bus.admit(now, occ, occ)
+    }
+
+    /// [`Pci::transfer`] under the fault plane: each attempt may be
+    /// aborted (`FaultClass::PciError`), in which case the doomed
+    /// transaction still occupies the bus for its full slot, the master
+    /// backs off, and the DMA is retried. After [`PCI_MAX_RETRIES`] the
+    /// bridge escalates to a locked transaction, so the transfer always
+    /// completes — errors waste bus time, they never lose packets.
+    pub fn transfer_faulty(
+        &mut self,
+        now: Time,
+        bytes: usize,
+        faults: Option<&mut FaultPlan>,
+    ) -> Time {
+        let Some(f) = faults else {
+            return self.transfer(now, bytes);
+        };
+        let mut at = now;
+        let mut attempts = 0u32;
+        while attempts < PCI_MAX_RETRIES && f.roll(FaultClass::PciError) {
+            self.errors += 1;
+            let occ = Self::occupancy_ps(bytes);
+            at = self.bus.admit(at, occ, occ) + PCI_RETRY_BACKOFF_PS;
+            attempts += 1;
+        }
+        self.retries += u64::from(attempts);
+        self.transfer(at, bytes)
+    }
+
+    /// Aborted transactions observed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Retried DMAs (sum of retry attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Tries to claim a free Pentium-side buffer (the SA's pull from the
@@ -98,6 +152,8 @@ impl Pci {
     pub fn reset_stats(&mut self) {
         self.bytes_moved = 0;
         self.transfers = 0;
+        self.errors = 0;
+        self.retries = 0;
         self.bus.reset_stats();
     }
 }
@@ -131,6 +187,37 @@ mod tests {
         p.release_buffer();
         assert!(p.claim_buffer());
         assert_eq!(p.free_buffers(), 0);
+    }
+
+    #[test]
+    fn faultless_faulty_transfer_matches_plain() {
+        let mut a = Pci::new(4);
+        let mut b = Pci::new(4);
+        // No plan attached: identical timing and no error accounting.
+        assert_eq!(a.transfer_faulty(0, 1320, None), b.transfer(0, 1320));
+        assert_eq!(a.errors(), 0);
+        // Plan attached but class disabled: still identical (and the
+        // plan's streams are untouched).
+        let mut plan = FaultPlan::new(5);
+        assert_eq!(
+            a.transfer_faulty(0, 1320, Some(&mut plan)),
+            b.transfer(0, 1320)
+        );
+        assert_eq!(a.retries(), 0);
+    }
+
+    #[test]
+    fn aborted_transactions_retry_and_complete() {
+        let mut p = Pci::new(4);
+        let mut plan = FaultPlan::new(9).with_rate(FaultClass::PciError, npr_sim::fault::PPM);
+        // 100% error rate: exactly PCI_MAX_RETRIES aborts, then the
+        // locked transaction goes through.
+        let done = p.transfer_faulty(0, 1320, Some(&mut plan));
+        assert_eq!(p.errors(), u64::from(PCI_MAX_RETRIES));
+        assert_eq!(p.retries(), u64::from(PCI_MAX_RETRIES));
+        assert_eq!(p.transfers(), 1);
+        // 5 bus slots of 10.3 us plus 4 backoffs of 1 us.
+        assert_eq!(done, 5 * 10_300_000 + 4 * 1_000_000);
     }
 
     #[test]

@@ -205,6 +205,12 @@ impl QueuePlane {
         self.queues.iter().map(|q| q.enqueued()).sum()
     }
 
+    /// Descriptors currently queued across all queues (conservation
+    /// checker's in-flight term).
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
     /// Clears statistics on every queue.
     pub fn reset_stats(&mut self) {
         for q in &mut self.queues {

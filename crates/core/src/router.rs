@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use npr_ixp::{IStore, Ixp, IxpEv, PortId, RingId, Sched, TrafficSource};
 use npr_packet::{BufferHandle, EthernetFrame, Ipv4Header, Ipv4Proto, MacAddr, Mp, UdpHeader};
 use npr_route::NextHop;
-use npr_sim::{cycles_to_ps, EventQueue, Time, Wakeup, PENTIUM_HZ, PS_PER_SEC};
+use npr_sim::{cycles_to_ps, EventQueue, FaultPlan, Time, Wakeup, PENTIUM_HZ, PS_PER_SEC};
 use npr_vrp::VrpBudget;
 
 use crate::classify::{Key, WhereRun};
@@ -31,6 +31,11 @@ pub const fn ms(n: u64) -> Time {
 pub const fn us(n: u64) -> Time {
     n * 1_000_000
 }
+
+/// Deferral bound before the StrongARM declares a never-assembling
+/// escalated packet dead (64 retries x ~6 us ~ 384 us — far past any
+/// legitimate assembly time, so live packets are never hit).
+const SA_MAX_DEFERRALS: u16 = 64;
 
 /// Router events.
 pub enum Ev {
@@ -120,6 +125,71 @@ pub struct Report {
     pub latency_p99_us: f64,
     /// Maximum forwarding latency in the window, microseconds.
     pub latency_max_us: f64,
+}
+
+/// Packet-conservation ledger: every packet the input process admitted
+/// must be transmitted, claimed by exactly one terminal drop counter,
+/// or still visibly in flight. Built by [`Router::conservation`];
+/// checked continuously by the fault-injection suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Conservation {
+    /// Packets admitted by the input process (`input_pkts`).
+    pub admitted: u64,
+    /// Packets transmitted (`tx_pkts`).
+    pub transmitted: u64,
+    /// Output-queue overflow drops.
+    pub queue_drops: u64,
+    /// StrongARM/Pentium staging-queue overflow drops.
+    pub escalation_drops: u64,
+    /// No-route drops (trie miss with no exception handler).
+    pub no_route_drops: u64,
+    /// Post-admission buffer-lap losses.
+    pub lap_losses: u64,
+    /// StrongARM forwarder rejections.
+    pub sa_fwdr_drops: u64,
+    /// Pentium forwarder drops.
+    pub pe_drops: u64,
+    /// Pentium forwarder consumptions.
+    pub pe_consumed: u64,
+    /// Dead-assembly (truncation) discards.
+    pub truncated_drops: u64,
+    /// Packets visibly in flight: output queues, staging queues,
+    /// Pentium inbound queues, and active StrongARM/Pentium jobs.
+    pub in_flight: u64,
+    /// Stale buffer reads observed by the pool (one-lap invariant:
+    /// every counted lap loss is backed by at least one).
+    pub stale_reads: u64,
+}
+
+impl Conservation {
+    /// Packets that reached a terminal fate.
+    pub fn terminal(&self) -> u64 {
+        self.transmitted
+            + self.queue_drops
+            + self.escalation_drops
+            + self.no_route_drops
+            + self.lap_losses
+            + self.sa_fwdr_drops
+            + self.pe_drops
+            + self.pe_consumed
+            + self.truncated_drops
+    }
+
+    /// Terminal fates plus visible in-flight packets.
+    pub fn accounted(&self) -> u64 {
+        self.terminal() + self.in_flight
+    }
+
+    /// Admitted minus accounted: positive means packets vanished
+    /// without a counter; negative means something double-counted.
+    pub fn deficit(&self) -> i64 {
+        self.admitted as i64 - self.accounted() as i64
+    }
+
+    /// The conservation and one-lap invariants together.
+    pub fn holds(&self) -> bool {
+        self.deficit() == 0 && self.lap_losses <= self.stale_reads
+    }
 }
 
 /// A replaying traffic source for real-port experiments.
@@ -348,6 +418,19 @@ impl Router {
         self.world.vrp_pad = Some((prog, state));
     }
 
+    /// Arms (or clears) the deterministic fault-injection plane. The
+    /// plan's per-class xorshift streams drive every injector in the
+    /// stack; a plan with all rates at zero draws nothing and leaves
+    /// the schedule bit-identical to an unfaulted run.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.ixp.set_fault_plan(plan);
+    }
+
+    /// The active fault plan, if any (injection tallies live here).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.ixp.fault_plan()
+    }
+
     /// Re-arms a port's receive schedule after its source gained new
     /// frames (fabric use: sources backed by shared queues go dry and
     /// must be poked when refilled).
@@ -489,6 +572,22 @@ impl Router {
         self.wake_sa_in(us(6));
     }
 
+    /// Declares a never-assembling escalated packet dead once its
+    /// assembly was aborted (truncated frame) or it has been deferred
+    /// past the liveness bound. Returns `true` when the descriptor was
+    /// discarded — its terminal drop is counted here, exactly once.
+    fn sa_give_up(&mut self, desc: u32) -> bool {
+        let h = BufferHandle::from_descriptor(desc);
+        let meta = self.world.meta_mut(h);
+        meta.deferrals += 1;
+        if meta.aborted || meta.deferrals > SA_MAX_DEFERRALS {
+            self.world.escalations.remove(&desc);
+            self.world.counters.truncated_drops.inc();
+            return true;
+        }
+        false
+    }
+
     fn sa_poll(&mut self) {
         if self.sa.job.is_some() {
             return;
@@ -505,6 +604,9 @@ impl Router {
             let desc = self.world.sa_pe_q[f].dequeue().expect("non-empty");
             if !self.sa_assembled(desc) {
                 self.pci.release_buffer();
+                if self.sa_give_up(desc) {
+                    continue;
+                }
                 self.world.sa_pe_q[f].enqueue(desc);
                 self.wake_sa_in(us(6));
                 continue;
@@ -531,6 +633,10 @@ impl Router {
         // Priority 2: route-cache misses.
         if let Some(desc) = self.world.sa_miss_q.dequeue() {
             if !self.sa_assembled(desc) {
+                if self.sa_give_up(desc) {
+                    self.wake_sa_in(0);
+                    return;
+                }
                 self.sa_defer(|w| &mut w.sa_miss_q, desc);
                 return;
             }
@@ -545,6 +651,10 @@ impl Router {
         // Priority 3: local forwarders.
         if let Some(desc) = self.world.sa_local_q.dequeue() {
             if !self.sa_assembled(desc) {
+                if self.sa_give_up(desc) {
+                    self.wake_sa_in(0);
+                    return;
+                }
                 self.sa_defer(|w| &mut w.sa_local_q, desc);
                 return;
             }
@@ -613,6 +723,7 @@ impl Router {
         }
         let h = BufferHandle::from_descriptor(desc);
         let mut ok = true;
+        let mut lapped = false;
         match self.world.pool.read(h).map(|b| b.to_vec()) {
             Some(mut bytes) => {
                 if let Some(f) = self.sa.forwarders.get_mut(fwdr as usize) {
@@ -636,7 +747,13 @@ impl Router {
             None => {
                 self.world.counters.lap_losses.inc();
                 ok = false;
+                lapped = true;
             }
+        }
+        if !ok && !lapped {
+            // The forwarder rejected or consumed the packet: this is
+            // its one terminal counter (it used to vanish uncounted).
+            self.world.counters.sa_fwdr_drops.inc();
         }
         if ok {
             // Slow-path fragmentation: oversized packets are split per
@@ -724,7 +841,9 @@ impl Router {
                 } else {
                     usize::from(len) + ROUTING_HEADER_BYTES
                 };
-                let done_t = self.pci.transfer(now, bytes);
+                let done_t = self
+                    .pci
+                    .transfer_faulty(now, bytes, self.ixp.fault_plan_mut());
                 self.events.schedule(
                     done_t,
                     Ev::PeArrive(PeItem {
@@ -758,7 +877,9 @@ impl Router {
                 } else {
                     len + ROUTING_HEADER_BYTES
                 };
-                let done_t = self.pci.transfer(now, bytes);
+                let done_t = self
+                    .pci
+                    .transfer_faulty(now, bytes, self.ixp.fault_plan_mut());
                 self.events.schedule(
                     done_t,
                     Ev::PeArrive(PeItem {
@@ -858,7 +979,9 @@ impl Router {
                 } else {
                     usize::from(item.len) + ROUTING_HEADER_BYTES
                 };
-                let done_t = self.pci.transfer(now, bytes);
+                let done_t = self
+                    .pci
+                    .transfer_faulty(now, bytes, self.ixp.fault_plan_mut());
                 self.events.schedule(
                     done_t,
                     Ev::PeWriteback {
@@ -867,7 +990,13 @@ impl Router {
                     },
                 );
             }
-            PeAction::Drop | PeAction::Consume => {
+            PeAction::Drop => {
+                self.world.counters.pe_drops.inc();
+                self.pci.release_buffer();
+                self.wake_sa_in(0);
+            }
+            PeAction::Consume => {
+                self.world.counters.pe_consumed.inc();
                 self.pci.release_buffer();
                 self.wake_sa_in(0);
             }
@@ -939,10 +1068,17 @@ impl Router {
                     &self.vrp_budget,
                     self.istore.free_slots(),
                 )?;
-                let id = self
-                    .istore
-                    .install(prog.istore_slots())
-                    .map_err(AdmitError::IStore)?;
+                let slots = prog.istore_slots();
+                let id = self.istore.install(slots).map_err(AdmitError::IStore)?;
+                // Writing the instruction store "requires disabling the
+                // parallel processor" (section 4.5): every MicroEngine
+                // mirroring the store sits idle for the installation
+                // window, not just on paper — running contexts finish
+                // their current op and then stall until the thaw.
+                let until = self.events.now() + cycles_to_ps(IStore::install_cycles(slots));
+                for me in 0..self.cfg.input_ctxs.div_ceil(4) {
+                    self.ixp.freeze_me(me, until);
+                }
                 let state_bytes = usize::from(prog.state_bytes);
                 self.world.me_forwarders.push(MeForwarder { prog, cost });
                 (
@@ -1054,6 +1190,62 @@ impl Router {
         let n = data.len().min(state.len());
         state[..n].copy_from_slice(&data[..n]);
         Ok(())
+    }
+
+    // --- Invariant checkers ---
+
+    /// Builds the packet-conservation ledger from lifetime totals.
+    ///
+    /// Valid only on runs that never call [`Router::mark`] (marking
+    /// resets the queue drop statistics the ledger sums) and that do
+    /// not use slow-path fragmentation or the synthetic StrongARM feed
+    /// (both mint packets that were never admitted by the input
+    /// process).
+    pub fn conservation(&self) -> Conservation {
+        let c = &self.world.counters;
+        let escalation_drops = self.world.sa_local_q.drops()
+            + self.world.sa_miss_q.drops()
+            + self.world.sa_pe_q.iter().map(|q| q.drops()).sum::<u64>();
+        let in_flight = self.world.queues.total_queued()
+            + self.world.sa_local_q.len()
+            + self.world.sa_miss_q.len()
+            + self.world.sa_pe_q.iter().map(|q| q.len()).sum::<usize>()
+            + self.pe.inbound.iter().map(|q| q.len()).sum::<usize>()
+            + usize::from(self.sa.job.is_some())
+            + usize::from(self.pe.current.is_some());
+        Conservation {
+            admitted: c.input_pkts.total(),
+            transmitted: c.tx_pkts.total(),
+            queue_drops: self.world.queues.total_drops(),
+            escalation_drops,
+            no_route_drops: c.no_route_drops.total(),
+            lap_losses: c.lap_losses.total(),
+            sa_fwdr_drops: c.sa_fwdr_drops.total(),
+            pe_drops: c.pe_drops.total(),
+            pe_consumed: c.pe_consumed.total(),
+            truncated_drops: c.truncated_drops.total(),
+            in_flight: in_flight as u64,
+            stale_reads: self.world.pool.stale_reads(),
+        }
+    }
+
+    /// Quiescence watchdog: after traffic ends, runs the router in
+    /// `slice`-long steps until every admitted packet has reached a
+    /// terminal fate (nothing visibly in flight and the conservation
+    /// identity balances), giving up after `max_slices`. Returning
+    /// `false` is a loud signal of a silent deadlock or livelock —
+    /// some packet is stuck and no counter will ever claim it.
+    pub fn drain(&mut self, slice: Time, max_slices: usize) -> bool {
+        for _ in 0..max_slices {
+            let c = self.conservation();
+            if c.in_flight == 0 && c.holds() {
+                return true;
+            }
+            let t = self.now() + slice;
+            self.run_until(t);
+        }
+        let c = self.conservation();
+        c.in_flight == 0 && c.holds()
     }
 
     // --- Measurement ---

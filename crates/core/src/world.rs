@@ -52,6 +52,13 @@ pub struct PktMeta {
     /// True when classification could not route the packet (cache miss
     /// at escalation time); the StrongARM resolves it via the trie.
     pub needs_route: bool,
+    /// True when the frame's assembly died before its final MP (MAC
+    /// truncation / corrupted tag): downstream stages must discard the
+    /// packet instead of waiting on MPs that will never arrive.
+    pub aborted: bool,
+    /// StrongARM not-yet-assembled deferrals so far (liveness watchdog:
+    /// past a bound the packet is declared dead).
+    pub deferrals: u16,
     /// Arrival timestamp of the first MP.
     pub arrival: Time,
 }
@@ -108,6 +115,28 @@ pub struct Counters {
     pub pe_done: Counter,
     /// Packets lost to buffer-lap overruns (stale handles).
     pub lap_losses: Counter,
+    /// Packets whose buffer lapped *before* admission (the write of an
+    /// MP into a not-yet-enqueued packet found a stale handle). Kept
+    /// separate from [`Counters::lap_losses`], which counts admitted
+    /// packets.
+    pub input_lap_drops: Counter,
+    /// Continuation MPs discarded because their frame's first MP never
+    /// made an assembly record (it was dropped or its tag was
+    /// corrupted). An MP-level ledger: the packet-level drop was
+    /// already counted where the first MP died.
+    pub orphan_mp_drops: Counter,
+    /// Packets discarded by a StrongARM-local forwarder returning
+    /// `false` (the forwarder consumed or rejected the packet).
+    pub sa_fwdr_drops: Counter,
+    /// Packets a Pentium forwarder explicitly dropped.
+    pub pe_drops: Counter,
+    /// Packets a Pentium forwarder consumed (terminated at the router,
+    /// e.g. control traffic).
+    pub pe_consumed: Counter,
+    /// Packets discarded because their frame assembly died mid-flight
+    /// (truncated by the MAC or mislabeled by a corrupted tag) — the
+    /// port-successor check or a liveness watchdog declared them dead.
+    pub truncated_drops: Counter,
     /// Packets transmitted (counted by output data plumbing in system
     /// mode; port counters are authoritative).
     pub tx_pkts: Counter,
@@ -141,6 +170,12 @@ impl Counters {
         self.sa_local_done.mark(now);
         self.pe_done.mark(now);
         self.lap_losses.mark(now);
+        self.input_lap_drops.mark(now);
+        self.orphan_mp_drops.mark(now);
+        self.sa_fwdr_drops.mark(now);
+        self.pe_drops.mark(now);
+        self.pe_consumed.mark(now);
+        self.truncated_drops.mark(now);
         self.tx_pkts.mark(now);
         self.input_reg_cycles.mark(now);
         self.output_reg_cycles.mark(now);
@@ -209,6 +244,11 @@ pub struct RouterWorld {
     pub traced_descs: std::collections::HashSet<u32>,
     /// In-progress multi-MP frames.
     pub assembly: HashMap<u64, Assembly>,
+    /// Frame currently being assembled per input port. Frames on one
+    /// wire cannot interleave, so a new start-of-frame MP on a port
+    /// proves any older in-progress assembly there is dead (its final
+    /// MP never arrived) and must be aborted.
+    pub port_assembly: Vec<Option<u64>>,
     /// Counters.
     pub counters: Counters,
     /// Divert this fraction (out of 1000) of packets to the Pentium
@@ -263,6 +303,7 @@ impl RouterWorld {
             tracer: crate::trace::Tracer::default(),
             traced_descs: std::collections::HashSet::new(),
             assembly: HashMap::new(),
+            port_assembly: vec![None; ports],
             counters: Counters::default(),
             divert_pe_permille: 0,
             divert_sa_permille: 0,
@@ -292,6 +333,8 @@ impl RouterWorld {
             mps_written: 0,
             pe_flow: 0,
             needs_route: false,
+            aborted: false,
+            deferrals: 0,
             arrival: now,
         };
         h

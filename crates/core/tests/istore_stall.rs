@@ -1,0 +1,128 @@
+//! Installing MicroEngine code "requires disabling the parallel
+//! processor" (paper, section 4.5): writing the instruction store
+//! stalls every MicroEngine that mirrors it for 800 cycles per 10
+//! instructions. The simulator used to *account* that latency without
+//! ever pausing anyone (DESIGN §8's old limitation 1); these tests
+//! pin the fixed behavior — input processing really stops during the
+//! installation window and recovers after it.
+
+use npr_core::{ms, Key, Router, RouterConfig};
+use npr_ixp::IStore;
+use npr_sim::cycles_to_ps;
+
+/// A flow key no CBR packet matches: the install costs ISTORE space
+/// and installation stall time, but zero per-packet budget.
+fn unused_flow() -> Key {
+    Key::Flow(npr_core::FlowKey {
+        src: 0x0909_0909,
+        dst: 0x0909_0909,
+        sport: 9,
+        dport: 9,
+    })
+}
+
+fn loaded_router() -> Router {
+    let mut r = Router::new(RouterConfig::line_rate());
+    for p in 0..8 {
+        r.attach_cbr(p, 0.9, u64::MAX, ((p + 1) % 8) as u8);
+    }
+    r
+}
+
+#[test]
+fn install_stalls_input_processing_for_the_write_window() {
+    let prog = npr_forwarders::tcp_splicer();
+    let window = cycles_to_ps(IStore::install_cycles(prog.istore_slots()));
+    assert!(window > 0);
+
+    let mut r = loaded_router();
+    r.run_until(ms(1));
+    let t0 = r.now();
+
+    // Baseline: input MPs processed in one window-length of steady
+    // state, before any install.
+    let before = r.world.counters.input_mps.total();
+    r.run_until(t0 + window);
+    let baseline = r.world.counters.input_mps.total() - before;
+    assert!(baseline > 10, "steady state should process MPs: {baseline}");
+
+    // Install: every input MicroEngine freezes until the store write
+    // completes. Contexts may finish the operation already in flight,
+    // but the window as a whole goes quiet.
+    let t1 = r.now();
+    let during0 = r.world.counters.input_mps.total();
+    r.install(
+        unused_flow(),
+        npr_core::InstallRequest::Me { prog },
+        None,
+    )
+    .expect("per-flow splicer admits");
+    r.run_until(t1 + window);
+    let during = r.world.counters.input_mps.total() - during0;
+    assert!(
+        during <= baseline / 4,
+        "input should stall during the ISTORE write: {during} vs baseline {baseline}"
+    );
+
+    // Recovery: the next window runs at no less than the steady rate
+    // (the receive buffers drain the backlog the stall built up).
+    let t2 = r.now();
+    let after0 = r.world.counters.input_mps.total();
+    r.run_until(t2 + window);
+    let after = r.world.counters.input_mps.total() - after0;
+    assert!(
+        after >= baseline / 2,
+        "input should recover after the thaw: {after} vs baseline {baseline}"
+    );
+
+    // And transmit throughput recovers too: a longer post-install
+    // window forwards at roughly the pre-install rate.
+    let tx0: u64 = (0..8).map(|p| r.ixp.hw.ports[p].tx_frames).sum();
+    let t3 = r.now();
+    r.run_until(t3 + 10 * window);
+    let tx1: u64 = (0..8).map(|p| r.ixp.hw.ports[p].tx_frames).sum();
+    let before_rate = baseline as f64; // MPs == min frames in one window.
+    let tx_rate = (tx1 - tx0) as f64 / 10.0;
+    assert!(
+        tx_rate > 0.7 * before_rate,
+        "forwarding should return to line rate: {tx_rate:.1}/win vs {before_rate:.1}/win"
+    );
+}
+
+#[test]
+fn larger_programs_stall_longer() {
+    // The stall window scales with program size: 80 cycles per slot.
+    let small = npr_forwarders::dscp_tagger().istore_slots();
+    let large = npr_forwarders::tcp_splicer().istore_slots();
+    assert!(large > small);
+    assert_eq!(IStore::install_cycles(small), 80 * small as u64);
+    assert!(IStore::install_cycles(large) > IStore::install_cycles(small));
+}
+
+#[test]
+fn pentium_installs_do_not_stall_the_microengines() {
+    // Only ISTORE writes freeze the MEs; control-processor installs
+    // must leave the fast path untouched.
+    let mut r = loaded_router();
+    r.run_until(ms(1));
+    let t0 = r.now();
+    let w = cycles_to_ps(IStore::install_cycles(64));
+    let before = r.world.counters.input_mps.total();
+    r.run_until(t0 + w);
+    let baseline = r.world.counters.input_mps.total() - before;
+
+    let t1 = r.now();
+    let d0 = r.world.counters.input_mps.total();
+    r.install(
+        unused_flow(),
+        npr_forwarders::slow::route_updater_pe(1_000),
+        None,
+    )
+    .expect("pe install admits");
+    r.run_until(t1 + w);
+    let during = r.world.counters.input_mps.total() - d0;
+    assert!(
+        during + 2 >= baseline,
+        "a Pentium install must not stall input: {during} vs {baseline}"
+    );
+}

@@ -28,7 +28,7 @@
 use std::collections::VecDeque;
 
 use npr_packet::Mp;
-use npr_sim::{cycles_to_ps, Server, Time};
+use npr_sim::{cycles_to_ps, FaultClass, FaultPlan, Server, Time};
 
 use crate::hash::HashUnit;
 use crate::mem::{MemCtl, MemKind, Rw};
@@ -249,6 +249,34 @@ pub struct Ixp<W> {
     rings: Vec<Ring>,
     mutexes: Vec<HwMutex>,
     reg_cycles: u64,
+    /// Per-ME freeze deadline: while `now < me_frozen_until[me]` the
+    /// MicroEngine issues nothing (ISTORE writes disable the engine —
+    /// paper, section 4.5 — and the fault plane reuses the mechanism).
+    me_frozen_until: Vec<Time>,
+    /// Deterministic fault injector; `None` (the default) leaves every
+    /// hook a no-op so fault-free runs are bit-identical.
+    faults: Option<FaultPlan>,
+}
+
+/// Fault-magnitude bounds for the machine-level injectors (all drawn
+/// from the class's own stream, so they are reproducible per seed).
+mod fault_mag {
+    /// Memory stall episode: window length in picoseconds (0.5–2 us).
+    pub const MEM_STALL_MIN_PS: u64 = 500_000;
+    pub const MEM_STALL_SPREAD_PS: u64 = 1_500_000;
+    /// Extra latency per access during an episode (100–500 ns).
+    pub const MEM_EXTRA_MIN_PS: u64 = 100_000;
+    pub const MEM_EXTRA_SPREAD_PS: u64 = 400_000;
+    /// DMA slowdown multiplier: occupancy x (2..=8).
+    pub const DMA_SLOW_MIN_X: u64 = 2;
+    pub const DMA_SLOW_SPREAD_X: u64 = 7;
+    /// Lost-token recovery timeout in ME cycles (1k–4k: the watchdog
+    /// regenerating the signal).
+    pub const TOKEN_RECOVERY_MIN_CYC: u64 = 1_000;
+    pub const TOKEN_RECOVERY_SPREAD_CYC: u64 = 3_000;
+    /// Port flap outage in picoseconds (10–60 us: several frame times).
+    pub const FLAP_MIN_PS: u64 = 10_000_000;
+    pub const FLAP_SPREAD_PS: u64 = 50_000_000;
 }
 
 impl<W> Ixp<W> {
@@ -302,7 +330,39 @@ impl<W> Ixp<W> {
             mutexes: Vec::new(),
             cfg,
             reg_cycles: 0,
+            me_frozen_until: vec![0; NUM_MICROENGINES],
+            faults: None,
         }
+    }
+
+    /// Attaches (or clears) the deterministic fault plan.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The attached fault plan, if any (counters, rate queries).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable access for injectors outside the machine (PCI lives in
+    /// `npr-core` but shares this plan's streams).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
+    }
+
+    /// Freezes MicroEngine `me` until absolute time `until`: no context
+    /// on it is dispatched or resumed while frozen (pending events
+    /// self-defer to the thaw time). Used by ISTORE installation — the
+    /// engine is disabled while its instruction store is written — and
+    /// by the fault plane.
+    pub fn freeze_me(&mut self, me: MeId, until: Time) {
+        self.me_frozen_until[me] = self.me_frozen_until[me].max(until);
+    }
+
+    /// `me`'s thaw time if it is frozen at `now`.
+    fn frozen_until(&self, me: MeId, now: Time) -> Option<Time> {
+        (now < self.me_frozen_until[me]).then_some(self.me_frozen_until[me])
     }
 
     /// Loads `prog` onto context `ctx`.
@@ -392,8 +452,20 @@ impl<W> Ixp<W> {
     /// Handles one machine event.
     pub fn handle(&mut self, ev: IxpEv, world: &mut W, sched: &mut impl Sched) {
         match ev {
-            IxpEv::MeDispatch(me) => self.dispatch(me, world, sched),
+            IxpEv::MeDispatch(me) => {
+                if let Some(thaw) = self.frozen_until(me, sched.now()) {
+                    sched.at(thaw, IxpEv::MeDispatch(me));
+                    return;
+                }
+                self.dispatch(me, world, sched);
+            }
             IxpEv::CtxComputeDone(c) => {
+                // A frozen engine resumes nothing: the running context's
+                // completion defers to the thaw (the ISTORE-write stall).
+                if let Some(thaw) = self.frozen_until(Self::me_of(c), sched.now()) {
+                    sched.at(thaw, IxpEv::CtxComputeDone(c));
+                    return;
+                }
                 debug_assert_eq!(self.ctx_status[c], CtxStatus::Running);
                 self.run_ctx(c, world, sched);
             }
@@ -470,6 +542,7 @@ impl<W> Ixp<W> {
                     return;
                 }
                 Op::MemRead(kind, bytes) => {
+                    self.maybe_stall_mem(kind, sched.now());
                     let done = self.mem(kind).access(sched.now(), Rw::Read, bytes as usize);
                     self.block(c, CtxStatus::Blocked, sched);
                     sched.at(done, IxpEv::CtxBlockDone(c));
@@ -479,6 +552,7 @@ impl<W> Ixp<W> {
                     // Paired reads issue back to back and the context
                     // blocks on the batch: one wakeup at the last
                     // completion (FIFO completions are nondecreasing).
+                    self.maybe_stall_mem(kind, sched.now());
                     let done = self
                         .mem(kind)
                         .access_batch(sched.now(), Rw::Read, bytes as usize, 2);
@@ -487,6 +561,7 @@ impl<W> Ixp<W> {
                     return;
                 }
                 Op::MemWrite(kind, bytes) => {
+                    self.maybe_stall_mem(kind, sched.now());
                     let done = self
                         .mem(kind)
                         .access(sched.now(), Rw::Write, bytes as usize);
@@ -496,6 +571,7 @@ impl<W> Ixp<W> {
                 }
                 Op::MemWritePosted(kind, bytes) => {
                     let now = sched.now();
+                    self.maybe_stall_mem(kind, now);
                     let _ = self.mem(kind).access(now, Rw::Write, bytes as usize);
                     continue;
                 }
@@ -515,10 +591,27 @@ impl<W> Ixp<W> {
                     debug_assert_eq!(ring.members[ring.pos], c);
                     ring.pos = (ring.pos + 1) % ring.members.len();
                     ring.state = RingState::Moving;
-                    sched.at(
-                        sched.now() + cycles_to_ps(self.cfg.token_pass_cycles),
-                        IxpEv::TokenAt(r),
-                    );
+                    let nominal = sched.now() + cycles_to_ps(self.cfg.token_pass_cycles);
+                    let mut arrive = nominal;
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.roll(FaultClass::TokenDrop) {
+                            // The pass is lost on the wire; the watchdog
+                            // regenerates the token after a timeout.
+                            let cyc = fault_mag::TOKEN_RECOVERY_MIN_CYC
+                                + f.draw_below(
+                                    FaultClass::TokenDrop,
+                                    fault_mag::TOKEN_RECOVERY_SPREAD_CYC,
+                                );
+                            arrive = sched.now() + cycles_to_ps(cyc);
+                        }
+                        if f.roll(FaultClass::TokenDuplicate) {
+                            // Spurious second signal; `token_at` absorbs
+                            // whichever copy arrives with the ring no
+                            // longer in flight.
+                            sched.at(nominal + cycles_to_ps(1), IxpEv::TokenAt(r));
+                        }
+                    }
+                    sched.at(arrive, IxpEv::TokenAt(r));
                     continue;
                 }
                 Op::MutexTryAcquire(m) => {
@@ -584,7 +677,7 @@ impl<W> Ixp<W> {
                 }
                 Op::DmaRxToFifo { port, slot } => {
                     let now = sched.now();
-                    let mp = if self.cfg.ideal_ports {
+                    let mut mp = if self.cfg.ideal_ports {
                         self.hw.rx_template[port]
                             .clone()
                             .expect("ideal port needs a template")
@@ -594,7 +687,21 @@ impl<W> Ixp<W> {
                             .pop_front()
                             .expect("DmaRxToFifo on empty port (check port_rdy)")
                     };
-                    let occ = self.cfg.dma_occupancy_ps(mp.len.max(1) as usize);
+                    let mut occ = self.cfg.dma_occupancy_ps(mp.len.max(1) as usize);
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.roll(FaultClass::MpCorrupt) {
+                            // A corrupted MAC status word mislabels the
+                            // MP's position; downstream assembly must
+                            // drop (and count) the orphaned pieces.
+                            let k = f.draw_below(FaultClass::MpCorrupt, 3);
+                            mp.tag = mp.tag.corrupted(k);
+                        }
+                        if f.roll(FaultClass::DmaSlow) {
+                            let x = fault_mag::DMA_SLOW_MIN_X
+                                + f.draw_below(FaultClass::DmaSlow, fault_mag::DMA_SLOW_SPREAD_X);
+                            occ *= x;
+                        }
+                    }
                     let lat = occ + cycles_to_ps(self.cfg.dma_rx_cmd_cycles);
                     let done = self.dma.admit(now, occ, lat);
                     self.hw.in_fifo[slot].push_back(mp);
@@ -607,7 +714,14 @@ impl<W> Ixp<W> {
                     let mp = self.hw.out_fifo[slot]
                         .pop_front()
                         .expect("DmaTxToPort from empty FIFO slot");
-                    let occ = self.cfg.dma_tx_occupancy_ps(mp.len.max(1) as usize);
+                    let mut occ = self.cfg.dma_tx_occupancy_ps(mp.len.max(1) as usize);
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.roll(FaultClass::DmaSlow) {
+                            let x = fault_mag::DMA_SLOW_MIN_X
+                                + f.draw_below(FaultClass::DmaSlow, fault_mag::DMA_SLOW_SPREAD_X);
+                            occ *= x;
+                        }
+                    }
                     let done = self.dma_tx.admit(now, occ, occ);
                     if let Some(cap) = &mut self.hw.ports[port].tx_capture {
                         cap.push((done, mp.clone()));
@@ -671,13 +785,39 @@ impl<W> Ixp<W> {
 
     fn token_at(&mut self, r: RingId, sched: &mut impl Sched) {
         let ring = &mut self.rings[r];
-        debug_assert_eq!(ring.state, RingState::Moving);
+        if ring.state != RingState::Moving {
+            // A duplicated token signal (fault plane) arrives after the
+            // genuine one parked or granted: absorb it — the ring must
+            // never double-grant.
+            return;
+        }
         let m = ring.members[ring.pos];
         if self.ctx_status[m] == CtxStatus::WaitToken(r) {
             ring.state = RingState::Held;
             self.make_ready(m, sched);
         } else {
             ring.state = RingState::Parked;
+        }
+    }
+
+    /// MemStall injector: rolled once per memory operation; a hit opens
+    /// a stall episode on the targeted controller.
+    fn maybe_stall_mem(&mut self, kind: MemKind, now: Time) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        if f.roll(FaultClass::MemStall) {
+            let dur = f.draw_window(
+                FaultClass::MemStall,
+                fault_mag::MEM_STALL_MIN_PS,
+                fault_mag::MEM_STALL_SPREAD_PS,
+            );
+            let extra = f.draw_window(
+                FaultClass::MemStall,
+                fault_mag::MEM_EXTRA_MIN_PS,
+                fault_mag::MEM_EXTRA_SPREAD_PS,
+            );
+            self.mem(kind).inject_stall(now, dur, extra);
         }
     }
 
@@ -708,6 +848,16 @@ impl<W> Ixp<W> {
 
     fn rx_arrive(&mut self, p: PortId, sched: &mut impl Sched) {
         let now = sched.now();
+        if let Some(f) = self.faults.as_mut() {
+            if f.roll(FaultClass::PortFlap) {
+                let dur = f.draw_window(
+                    FaultClass::PortFlap,
+                    fault_mag::FLAP_MIN_PS,
+                    fault_mag::FLAP_SPREAD_PS,
+                );
+                self.hw.ports[p].inject_flap(now, dur);
+            }
+        }
         let next = self.hw.ports[p].deliver_pending(now);
         match next {
             Some(t) => sched.at(t.max(now), IxpEv::RxArrive(p)),
@@ -1030,6 +1180,107 @@ mod tests {
         run(&mut ixp, &mut w, 1_000_000_000);
         assert_eq!(ixp.hw.ports[3].tx_frames, 1);
         assert!(ixp.hw.out_fifo[2].is_empty());
+    }
+
+    #[test]
+    fn frozen_me_issues_nothing_until_thaw() {
+        let mut ixp: Ixp<World> = Ixp::new(ChipConfig::ideal());
+        ixp.set_program(
+            0,
+            Box::new(Script {
+                ops: vec![Op::Compute(10)],
+                pc: 0,
+            }),
+        );
+        ixp.freeze_me(0, cycles_to_ps(800));
+        let mut w = World::default();
+        let end = run(&mut ixp, &mut w, 1_000_000_000);
+        // The 10-cycle compute can only start at the thaw.
+        assert_eq!(end, cycles_to_ps(810));
+        assert_eq!(ixp.reg_cycles(), 10);
+    }
+
+    #[test]
+    fn freeze_defers_running_context_completion() {
+        // The context starts computing, then the engine is frozen: its
+        // completion (and everything after) lands past the thaw.
+        let mut ixp: Ixp<World> = Ixp::new(ChipConfig::ideal());
+        ixp.set_program(
+            0,
+            Box::new(Script {
+                ops: vec![Op::Compute(10), Op::Compute(10)],
+                pc: 0,
+            }),
+        );
+        let mut q = Q(EventQueue::new());
+        let mut w = World::default();
+        ixp.start(&mut w, &mut q);
+        // Run the first dispatch (compute scheduled to end at 10 cyc).
+        let (_, ev) = q.0.pop_if_at_or_before(0).unwrap();
+        ixp.handle(ev, &mut w, &mut q);
+        ixp.freeze_me(0, cycles_to_ps(500));
+        while let Some((_, ev)) = q.0.pop_if_at_or_before(1_000_000_000) {
+            ixp.handle(ev, &mut w, &mut q);
+        }
+        assert_eq!(q.0.now(), cycles_to_ps(510));
+        assert_eq!(ixp.reg_cycles(), 20);
+    }
+
+    #[test]
+    fn dropped_token_recovers_by_timeout() {
+        let mut ixp: Ixp<World> = Ixp::new(ChipConfig::ideal());
+        ixp.set_fault_plan(Some(
+            npr_sim::FaultPlan::new(11).with_rate(npr_sim::FaultClass::TokenDrop, npr_sim::fault::PPM),
+        ));
+        let r = ixp.add_ring(vec![0, 4]);
+        for &c in &[0usize, 4] {
+            ixp.set_program(
+                c,
+                Box::new(Script {
+                    ops: vec![Op::TokenAcquire(r), Op::Compute(5), Op::TokenRelease(r)],
+                    pc: 0,
+                }),
+            );
+        }
+        let mut w = World::default();
+        let end = run(&mut ixp, &mut w, 1_000_000_000);
+        // Every pass is lost and regenerated after >= 1000 cycles, but
+        // both members still complete their critical sections.
+        assert!(end >= cycles_to_ps(1_000), "end {end}");
+        assert_eq!(ixp.reg_cycles(), 10);
+        assert!(ixp.fault_plan().unwrap().injected(npr_sim::FaultClass::TokenDrop) >= 1);
+    }
+
+    #[test]
+    fn duplicated_token_never_double_grants() {
+        let mut ixp: Ixp<World> = Ixp::new(ChipConfig::ideal());
+        ixp.set_fault_plan(Some(
+            npr_sim::FaultPlan::new(12)
+                .with_rate(npr_sim::FaultClass::TokenDuplicate, npr_sim::fault::PPM),
+        ));
+        let r = ixp.add_ring(vec![0, 4, 8]);
+        for &c in &[0usize, 4, 8] {
+            ixp.set_program(
+                c,
+                Box::new(Script {
+                    ops: vec![
+                        Op::TokenAcquire(r),
+                        Op::Compute(10),
+                        Op::TokenRelease(r),
+                        Op::TokenAcquire(r),
+                        Op::Compute(10),
+                        Op::TokenRelease(r),
+                    ],
+                    pc: 0,
+                }),
+            );
+        }
+        let mut w = World::default();
+        let end = run(&mut ixp, &mut w, 1_000_000_000);
+        // Critical sections stay serialized despite a duplicate signal
+        // on every pass.
+        assert!(end >= cycles_to_ps(60), "end {end}");
+        assert_eq!(ixp.reg_cycles(), 60);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct MemCtl {
     reads: u64,
     writes: u64,
     bytes: u64,
+    stall_until: Time,
+    stall_extra_ps: Time,
+    stalled_accesses: u64,
 }
 
 impl MemCtl {
@@ -53,7 +56,29 @@ impl MemCtl {
             reads: 0,
             writes: 0,
             bytes: 0,
+            stall_until: 0,
+            stall_extra_ps: 0,
+            stalled_accesses: 0,
         }
+    }
+
+    /// Opens a stall episode: until `now + dur_ps`, every access pays
+    /// `extra_ps` additional latency (a refresh storm / arbitration
+    /// pathology injected by the fault plane). Overlapping episodes
+    /// extend the window and take the larger penalty.
+    pub fn inject_stall(&mut self, now: Time, dur_ps: Time, extra_ps: Time) {
+        self.stall_until = self.stall_until.max(now + dur_ps);
+        self.stall_extra_ps = self.stall_extra_ps.max(extra_ps);
+    }
+
+    /// True while a stall episode is open.
+    pub fn stalled(&self, now: Time) -> bool {
+        now < self.stall_until
+    }
+
+    /// Accesses that paid a stall penalty.
+    pub fn stalled_accesses(&self) -> u64 {
+        self.stalled_accesses
     }
 
     /// Admits an access of `bytes` at time `now`; returns the absolute
@@ -71,6 +96,13 @@ impl MemCtl {
             }
         };
         self.bytes += bytes as u64;
+        let lat = if now < self.stall_until {
+            self.stalled_accesses += 1;
+            lat + self.stall_extra_ps
+        } else {
+            self.stall_extra_ps = 0;
+            lat
+        };
         // Latency includes the transfer; it dominates occupancy for the
         // common transfer sizes, so completion = start + latency.
         self.server.admit(now, occ, lat.max(occ))
@@ -208,6 +240,21 @@ mod tests {
         assert_eq!(batched.bytes(), serial.bytes());
         assert_eq!(batched.busy_ps(), serial.busy_ps());
         assert_eq!(batched.queued_ps(), serial.queued_ps());
+    }
+
+    #[test]
+    fn stall_episode_adds_latency_then_clears() {
+        let mut m = dram();
+        m.inject_stall(0, 1_000_000, 500_000);
+        // Inside the window: penalty applies.
+        assert_eq!(m.access(0, Rw::Read, 32), 760_000);
+        assert!(m.stalled(500_000));
+        assert_eq!(m.stalled_accesses(), 1);
+        // After the window: back to Table 3 (queueing from the stalled
+        // access has drained by then).
+        let base = m.read_latency_ps();
+        assert_eq!(m.access(2_000_000, Rw::Read, 32), 2_000_000 + base);
+        assert_eq!(m.stalled_accesses(), 1);
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub struct PortData {
     /// When set, every transmitted MP is also appended here (used by
     /// the multi-router fabric to carry frames between chassis).
     pub tx_capture: Option<Vec<(Time, Mp)>>,
+    /// Link-down window injected by the fault plane: MPs arriving while
+    /// `now < down_until` are dropped (whole frames, counted in the rx
+    /// drop counters exactly like buffer overflow).
+    pub down_until: Time,
+    /// Flap episodes injected so far.
+    pub flaps: u64,
 
     pub(crate) source: Option<Box<dyn TrafficSource>>,
     pub(crate) pending: VecDeque<(Time, Mp)>,
@@ -99,6 +105,8 @@ impl PortData {
             tx_frames: 0,
             tx_bytes: 0,
             tx_capture: None,
+            down_until: 0,
+            flaps: 0,
             source: None,
             pending: VecDeque::new(),
             last_frame_end: 0,
@@ -110,6 +118,13 @@ impl PortData {
     /// True when an input context's `port_rdy` test would succeed.
     pub fn rdy(&self) -> bool {
         !self.rx_buf.is_empty()
+    }
+
+    /// Takes the link down until `now + dur_ps` (fault plane).
+    /// Overlapping flaps extend the outage.
+    pub fn inject_flap(&mut self, now: Time, dur_ps: Time) {
+        self.down_until = self.down_until.max(now + dur_ps);
+        self.flaps += 1;
     }
 
     /// Pulls frames from the source until at least one MP arrival is
@@ -153,6 +168,12 @@ impl PortData {
             let (_, mp) = self.pending.pop_front().expect("checked front");
             if self.dropping_frame == Some(mp.frame_id) {
                 self.rx_mps_dropped += 1;
+            } else if now < self.down_until {
+                // Link flap: the frame is lost on the wire, counted the
+                // same way as a buffer overflow.
+                self.rx_mps_dropped += 1;
+                self.rx_frames_dropped += 1;
+                self.dropping_frame = Some(mp.frame_id);
             } else if self.rx_buf.len() >= self.rx_cap {
                 self.rx_mps_dropped += 1;
                 self.rx_frames_dropped += 1;
@@ -304,6 +325,26 @@ mod tests {
         assert_eq!(p.rx_frames, 1);
         assert_eq!(p.rx_frames_dropped, 2);
         assert_eq!(p.rx_mps_dropped, 2);
+    }
+
+    #[test]
+    fn flap_drops_frames_until_link_recovers() {
+        let mut p = PortData::new(100_000_000, 64);
+        p.source = Some(burst(3));
+        // Down past the first two frame arrivals (6.72 us, 13.44 us).
+        p.inject_flap(0, 15_000_000);
+        assert_eq!(p.flaps, 1);
+        let mut t = p.refill_pending(&cfg(), 0);
+        for _ in 0..3 {
+            let now = t.unwrap();
+            p.deliver_pending(now);
+            t = p.refill_pending(&cfg(), 0);
+        }
+        // Frames landing at 6.72 us and 13.44 us are lost; the third
+        // (20.16 us) arrives after the link comes back.
+        assert_eq!(p.rx_frames_dropped, 2);
+        assert_eq!(p.rx_mps_dropped, 2);
+        assert_eq!(p.rx_frames, 1);
     }
 
     #[test]

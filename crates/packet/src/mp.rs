@@ -35,6 +35,15 @@ impl MpTag {
     pub fn ends_packet(self) -> bool {
         matches!(self, MpTag::Last | MpTag::Only)
     }
+
+    /// Deterministically picks a *different* tag, selected by `k` (fault
+    /// plane: a corrupted MAC status word mislabels the MP's position).
+    /// There are exactly three wrong tags for any tag.
+    pub fn corrupted(self, k: u64) -> MpTag {
+        const ALL: [MpTag; 4] = [MpTag::First, MpTag::Intermediate, MpTag::Last, MpTag::Only];
+        let wrong: Vec<MpTag> = ALL.iter().copied().filter(|&t| t != self).collect();
+        wrong[(k % 3) as usize]
+    }
 }
 
 /// One 64-byte MAC-packet.
@@ -147,6 +156,22 @@ mod tests {
             .iter()
             .all(|m| m.tag == MpTag::Intermediate));
         assert_eq!(mps.last().unwrap().tag, MpTag::Last);
+    }
+
+    #[test]
+    fn corrupted_tag_is_always_different() {
+        for tag in [MpTag::First, MpTag::Intermediate, MpTag::Last, MpTag::Only] {
+            let mut seen = Vec::new();
+            for k in 0..9u64 {
+                let c = tag.corrupted(k);
+                assert_ne!(c, tag);
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            // All three wrong tags are reachable.
+            assert_eq!(seen.len(), 3);
+        }
     }
 
     #[test]

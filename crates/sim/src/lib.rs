@@ -14,12 +14,14 @@
 //! heap survives as [`OracleQueue`], the reference implementation the
 //! calendar is differentially tested against (DESIGN.md §6).
 
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
 
+pub use fault::{FaultClass, FaultPlan};
 pub use queue::{CalendarQueue, EventQueue, OracleQueue};
 pub use rng::XorShift64;
 pub use server::{Server, Wakeup};

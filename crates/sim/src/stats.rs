@@ -272,4 +272,55 @@ mod histogram_tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(99.0), 0);
     }
+
+    #[test]
+    fn saturating_value_lands_in_the_top_bucket() {
+        // u64::MAX must index the last bucket (exp 63, all-ones
+        // mantissa) without overflowing, and percentile() must clamp
+        // the bucket's lower bound to the recorded max.
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        let p = h.percentile(100.0);
+        assert!(p >= 0xF800_0000_0000_0000, "top-bucket lower bound: {p:#x}");
+        assert!(p <= u64::MAX);
+        // A second saturating sample shares the bucket.
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(50.0), p);
+    }
+
+    #[test]
+    fn zero_samples_index_the_first_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(0);
+        for p in [1.0, 50.0, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn extreme_mix_splits_cleanly_across_percentiles() {
+        // Half zeros, half saturating: low percentiles see the floor,
+        // high percentiles the ceiling, and nothing panics on the
+        // 64-bit boundary arithmetic.
+        let mut h = LogHistogram::new();
+        for _ in 0..50 {
+            h.record(0);
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.percentile(25.0), 0);
+        assert!(h.percentile(75.0) >= 1 << 63);
+        assert!(h.percentile(100.0) <= u64::MAX);
+    }
+
+    #[test]
+    fn out_of_range_percentiles_are_clamped() {
+        let mut h = LogHistogram::new();
+        h.record(100);
+        // p <= 0 still targets the first sample; p > 100 the last.
+        assert_eq!(h.percentile(0.0), h.percentile(1.0));
+        assert_eq!(h.percentile(150.0), h.percentile(100.0));
+    }
 }

@@ -38,6 +38,24 @@ fi
 # queue diverges from the oracle, failing verification.
 cargo run --release --offline --bin simbench -- --quick --out BENCH_sim.json
 
+# The fault-injection suite is the robustness gate: run it explicitly
+# in release so the full 64-seeded-scenarios-per-class sweep executes
+# (debug builds shrink it to 4), and fail if it ran zero tests.
+fault_out="$(cargo test -q --release --offline -p npr-core --test faults 2>&1)" || {
+    echo "$fault_out"
+    echo "ERROR: fault-injection suite failed" >&2
+    exit 1
+}
+echo "$fault_out"
+if ! echo "$fault_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+    echo "ERROR: fault-injection suite ran zero tests" >&2
+    exit 1
+fi
+
+# Record the graceful-degradation curves (Mpps vs fault rate per
+# injector class; seed-fixed, so the file is reproducible).
+cargo run --release --offline -p npr-bench --bin experiments -- faults --out BENCH_faults.json
+
 
 # Hermetic-build gate: the dependency graph may contain only workspace
 # crates. Check both the resolved tree and the lockfile.
