@@ -6,14 +6,15 @@
 //!   fig7 fig9 fig10
 //!   linerate strongarm robustness flood budget slowpath baseline
 //!   faults [--out PATH]
+//!   control [--out PATH]
 //!   all
 //! ```
 
 use npr_bench::fmt;
 use npr_bench::{
-    baseline, budget, curves_json, fault_curves, fig10, fig7, fig9, flood, linerate, robustness,
-    slowpath, strongarm, table1, table2, table3, table4, table5_rows, DEGRADE_RATES, WARMUP,
-    WINDOW,
+    baseline, budget, control_json, control_storm, curves_json, fault_curves, fig10, fig7, fig9,
+    flood, linerate, robustness, slowpath, strongarm, table1, table2, table3, table4, table5_rows,
+    DEGRADE_RATES, WARMUP, WINDOW,
 };
 use npr_forwarders::PadKind;
 
@@ -29,6 +30,8 @@ fn main() {
              \n  budget slowpath baseline             section 4.3/4.4 + baselines\
              \n  faults [--out PATH]                  graceful degradation under the\
              \n                                       fault plane (PATH gets the JSON)\
+             \n  control [--out PATH]                 fast path under a control storm\
+             \n                                       (PATH gets the JSON)\
              \n  all                                  everything (default)\n\
              \nSee also the `ablations` binary for beyond-the-paper studies."
         );
@@ -214,6 +217,27 @@ fn main() {
             .and_then(|i| args.get(i + 1))
         {
             std::fs::write(p, curves_json(&curves)).expect("write BENCH_faults.json");
+            eprintln!("wrote {p}");
+        }
+    }
+    if all || which == "control" {
+        let r = control_storm(WARMUP, WINDOW);
+        println!("\n== Control plane: route-update/install storm vs fast path ==");
+        println!(
+            "baseline {:.3} Mpps | storm {:.3} Mpps | ratio {:.4}",
+            r.baseline_mpps, r.storm_mpps, r.ratio
+        );
+        println!(
+            "control ops {} ({} ISTORE churns) | PCI {} B | avg latency {:.1} us",
+            r.ctl_ops, r.me_churns, r.ctl_pci_bytes, r.ctl_latency_avg_us
+        );
+        println!("(design point: control churn must cost the fast path only noise)");
+        if let Some(p) = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+        {
+            std::fs::write(p, control_json(&r)).expect("write BENCH_control.json");
             eprintln!("wrote {p}");
         }
     }

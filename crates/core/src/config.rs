@@ -80,6 +80,26 @@ pub struct RouterConfig {
     pub out_batch: usize,
     /// Route-cache slots.
     pub route_cache_slots: usize,
+    /// StrongARM retry interval (ps) for escalated packets whose MPs
+    /// have not all landed in DRAM yet. Default 6 us — roughly one
+    /// 64-byte MP wire time at 100 Mbps, so one retry usually suffices
+    /// for a frame whose tail is still arriving.
+    pub sa_defer_interval_ps: u64,
+    /// Deferral bound before the StrongARM declares a never-assembling
+    /// escalated packet dead. Default 64 retries x the 6 us interval
+    /// ~ 384 us — far past any legitimate assembly time, so live
+    /// packets are never hit.
+    pub sa_max_deferrals: u16,
+    /// Pentium cycles (733 MHz) to marshal one control operation
+    /// (`install`/`remove`/`getdata`/`setdata`) before it crosses the
+    /// bus: syscall, descriptor build, doorbell write. ~2.7 us.
+    pub ctl_pe_cycles: u64,
+    /// StrongARM cycles (200 MHz) to field a control doorbell and
+    /// execute the operation at its level. ~7.5 us.
+    pub ctl_sa_cycles: u64,
+    /// Control-descriptor size on the PCI bus (verb, fid, lengths,
+    /// completion address).
+    pub ctl_desc_bytes: usize,
 }
 
 impl Default for RouterConfig {
@@ -111,6 +131,11 @@ impl Default for RouterConfig {
             interleave_rings: true,
             out_batch: 16,
             route_cache_slots: 4096,
+            sa_defer_interval_ps: 6_000_000,
+            sa_max_deferrals: 64,
+            ctl_pe_cycles: 2_000,
+            ctl_sa_cycles: 1_500,
+            ctl_desc_bytes: 32,
         }
     }
 }

@@ -178,6 +178,12 @@ impl Fabric {
         (owner < self.members.len()).then_some(owner)
     }
 
+    /// MPs captured from member `k`'s uplink that still await the rest
+    /// of their frame (reassembly state spans epoch boundaries).
+    pub fn pending_uplink_mps(&self, k: usize) -> usize {
+        self.partial[k].values().map(|v| v.len()).sum()
+    }
+
     /// Total frames transmitted on external ports across all members.
     pub fn external_tx(&self) -> u64 {
         self.members
@@ -288,6 +294,83 @@ mod tests {
         assert!(
             delivered + drops >= 15_000,
             "unaccounted loss: {delivered} + {drops}"
+        );
+    }
+
+    #[test]
+    fn multi_mp_frames_straddling_an_epoch_boundary_reassemble() {
+        // Large frames segment into many 64-byte MPs on the uplink; a
+        // tiny epoch all but guarantees some frames are mid-flight at a
+        // boundary. The switch must hold their MPs in `partial` across
+        // the boundary and still deliver every frame intact.
+        let mut f = Fabric::new(2, RouterConfig::line_rate());
+        f.members[0].attach_source(
+            0,
+            Box::new(CbrSource::new(
+                100_000_000,
+                0.9,
+                FrameSpec {
+                    len: 600, // ~10 MPs per frame.
+                    dst: u32::from_be_bytes([10, 9, 0, 1]),
+                    ..Default::default()
+                },
+                40,
+            )),
+        );
+        let epoch = crate::router::us(2);
+        let mut saw_partial = false;
+        let mut t = 0;
+        while t < ms(8) {
+            t += epoch;
+            f.run_until(t, epoch);
+            saw_partial |= f.pending_uplink_mps(0) > 0;
+        }
+        assert!(
+            saw_partial,
+            "2 us epochs should catch a frame mid-reassembly"
+        );
+        assert_eq!(f.pending_uplink_mps(0), 0, "no MPs stranded at the end");
+        assert_eq!(f.switched, 40, "every frame crossed the switch");
+        assert_eq!(
+            f.members[1].ixp.hw.ports[1].tx_frames, 40,
+            "every frame delivered on the owner's external port"
+        );
+        assert_eq!(f.total_drops(), 0);
+    }
+
+    #[test]
+    fn unroutable_subnets_count_one_switch_drop_per_frame() {
+        // A stale route sends traffic up the uplink for a subnet no
+        // member owns; the switch discards each frame with exactly one
+        // counted drop (not zero, not double).
+        let mut f = Fabric::new(2, RouterConfig::line_rate());
+        f.members[0].world.table.insert(
+            u32::from_be_bytes([10, 200, 0, 0]),
+            16,
+            NextHop {
+                port: UPLINK_PORT as u8,
+                mac: MacAddr::for_port(UPLINK_PORT as u8),
+            },
+        );
+        f.members[0].attach_source(
+            0,
+            Box::new(CbrSource::new(
+                100_000_000,
+                0.5,
+                FrameSpec {
+                    dst: u32::from_be_bytes([10, 200, 0, 1]),
+                    ..Default::default()
+                },
+                3,
+            )),
+        );
+        f.run_until(ms(20), 0);
+        assert_eq!(f.switch_drops, 3, "one drop per unroutable frame");
+        assert_eq!(f.switched, 0);
+        assert_eq!(
+            f.members.iter().map(|m| m.ixp.hw.ports[..8].iter().map(|p| p.tx_frames).sum::<u64>()).sum::<u64>(),
+            0,
+            "nothing was delivered"
         );
     }
 

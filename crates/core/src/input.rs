@@ -575,7 +575,7 @@ impl InputLoop {
                 };
                 if q.enqueue(desc) {
                     w.escalations.insert(desc, esc);
-                    w.sa_signal = true;
+                    w.signals.push(crate::plane::PlaneSignal::WakeSa);
                 }
                 match esc {
                     Escalation::Pe { .. } => w.counters.to_pe.inc(),

@@ -97,6 +97,13 @@ pub enum AdmitError {
     },
     /// Unknown fid (remove/getdata/setdata).
     NoSuchFid,
+    /// `setdata` payload larger than the forwarder's flow state.
+    StateSize {
+        /// Bytes offered.
+        given: usize,
+        /// Bytes of flow state allocated at install time.
+        capacity: usize,
+    },
 }
 
 impl core::fmt::Display for AdmitError {
@@ -113,6 +120,9 @@ impl core::fmt::Display for AdmitError {
                 write!(f, "Pentium rate: {requested} pps exceeds {PE_MAX_PPS}")
             }
             AdmitError::NoSuchFid => write!(f, "no such forwarder"),
+            AdmitError::StateSize { given, capacity } => {
+                write!(f, "setdata: {given} bytes exceed the {capacity}-byte state")
+            }
         }
     }
 }

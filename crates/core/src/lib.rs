@@ -33,6 +33,7 @@
 
 pub mod classify;
 pub mod config;
+pub mod control;
 pub mod costs;
 pub mod fabric;
 pub mod input;
@@ -40,7 +41,9 @@ pub mod install;
 pub mod output;
 pub mod pci;
 pub mod pe;
+pub mod plane;
 pub mod queues;
+pub mod report;
 pub mod router;
 pub mod sa;
 pub mod sched;
@@ -50,11 +53,14 @@ pub mod world;
 
 pub use classify::{Classifier, FlowKey, Key, WhereRun};
 pub use config::{RouterConfig, TrafficTemplate};
+pub use control::InstalledEntry;
 pub use costs::{InputCosts, OutputCosts, PeCosts, SaCosts, INPUT_MEM_OPS, OUTPUT_MEM_OPS};
 pub use fabric::Fabric;
 pub use install::{AdmitError, Fid, InstallRequest};
+pub use plane::{Bus, ControlOp, ControlVerb, CtlStats, Plane, PlaneEvent, PlaneId, PlaneSignal};
 pub use queues::{InputDiscipline, OutputDiscipline, PacketQueue, QueuePlane};
-pub use router::{ms, us, Conservation, Report, Router};
+pub use report::{Conservation, Report};
+pub use router::{ms, us, Router};
 pub use trace::{TraceEvent, TraceStep, Tracer};
 pub use wfq::{WfqMapper, WfqState};
 pub use world::{Escalation, RouterWorld, RunMode};

@@ -1,9 +1,17 @@
 //! The Pentium level: installed control forwarders under proportional
-//! share (paper, sections 3.7 / 4.1 / 4.6).
+//! share (paper, sections 3.7 / 4.1 / 4.6), plus the origin of the
+//! control interface — `install`/`remove`/`getdata`/`setdata` are
+//! marshalled here before crossing the bus, sharing the single Pentium
+//! server with packet forwarders.
 
+use std::collections::VecDeque;
+
+use npr_packet::BufferHandle;
 use npr_sim::Time;
 
 use crate::costs::PeCosts;
+use crate::pci::ROUTING_HEADER_BYTES;
+use crate::plane::{Bus, ControlOp, Plane, PlaneEvent, PlaneId};
 use crate::sched::Stride;
 use crate::world::RouterWorld;
 
@@ -82,6 +90,12 @@ pub struct Pentium {
     pub forwarders: Vec<PeForwarder>,
     /// Busy flag: `Some(item)` while processing.
     pub current: Option<PeItem>,
+    /// Pending control operations awaiting marshalling (served before
+    /// packets; counted in control accounting, not in `done`).
+    pub ctl_q: VecDeque<ControlOp>,
+    /// Control op being marshalled (the server is single: never busy
+    /// with a packet and a control op at once).
+    pub ctl_current: Option<ControlOp>,
     /// Extra delay-loop cycles per packet (spare-cycle probing).
     pub delay_loop_cycles: u64,
     /// Busy picoseconds.
@@ -103,6 +117,8 @@ impl Pentium {
             stride,
             forwarders: Vec::new(),
             current: None,
+            ctl_q: VecDeque::new(),
+            ctl_current: None,
             delay_loop_cycles: 0,
             busy_ps: 0,
             done: 0,
@@ -145,6 +161,132 @@ impl Pentium {
     pub fn reset_stats(&mut self) {
         self.busy_ps = 0;
         self.done = 0;
+    }
+
+    fn wake(&mut self, bus: &mut Bus<'_>) {
+        if self.current.is_some() || self.ctl_current.is_some() {
+            return;
+        }
+        // Control operations first: rare, latency-bounded, and they
+        // must not starve behind a packet backlog.
+        if let Some(op) = self.ctl_q.pop_front() {
+            let cycles = bus.cfg.ctl_pe_cycles;
+            bus.ctl.pe_cycles += cycles;
+            let dur = cycles * npr_sim::PS_PER_PENTIUM_CYCLE;
+            self.busy_ps += dur;
+            self.ctl_current = Some(op);
+            bus.send_in(dur, PlaneEvent::PeDone);
+            return;
+        }
+        let Some(item) = self.pick() else { return };
+        let cycles = self.cycles_for(&item);
+        let dur = cycles * npr_sim::PS_PER_PENTIUM_CYCLE;
+        self.busy_ps += dur;
+        self.current = Some(item);
+        bus.send_in(dur, PlaneEvent::PeDone);
+    }
+
+    fn finish(&mut self, bus: &mut Bus<'_>) {
+        let now = bus.now();
+        // A marshalled control op heads down the bus to the StrongARM.
+        // Control descriptors do not claim I2O packet buffers.
+        if let Some(op) = self.ctl_current.take() {
+            let bytes = op.pci_down_bytes(bus.cfg.ctl_desc_bytes);
+            let done_t = bus.ctl_pci_transfer(bytes);
+            bus.send_at(done_t, PlaneEvent::CtlAdmit(op));
+            bus.wake_pe_in(0);
+            return;
+        }
+        let Some(mut item) = self.current.take() else {
+            return;
+        };
+        self.done += 1;
+        bus.world.counters.pe_done.inc();
+        let action = match self.forwarders.get_mut(item.fwdr as usize) {
+            Some(f) => (f.f)(&mut item.head, bus.world),
+            None => PeAction::Forward,
+        };
+        if bus.world.traced_descs.contains(&item.desc) {
+            let label = match action {
+                PeAction::Forward => "forward",
+                PeAction::Drop => "drop",
+                PeAction::Consume => "consume",
+            };
+            bus.world
+                .tracer
+                .record(now, crate::trace::TraceStep::Pentium { action: label });
+            if action != PeAction::Forward {
+                bus.world.traced_descs.remove(&item.desc);
+            }
+        }
+        match action {
+            PeAction::Forward => {
+                let bytes = if item.lazy {
+                    64 + ROUTING_HEADER_BYTES
+                } else {
+                    usize::from(item.len) + ROUTING_HEADER_BYTES
+                };
+                let done_t = bus.pci_transfer(bytes);
+                bus.send_at(
+                    done_t,
+                    PlaneEvent::PeWriteback {
+                        desc: item.desc,
+                        head: item.head,
+                    },
+                );
+            }
+            PeAction::Drop => {
+                bus.world.counters.pe_drops.inc();
+                bus.pci.release_buffer();
+                bus.wake_sa_in(0);
+            }
+            PeAction::Consume => {
+                bus.world.counters.pe_consumed.inc();
+                bus.pci.release_buffer();
+                bus.wake_sa_in(0);
+            }
+        }
+        bus.wake_pe_in(0);
+    }
+
+    fn writeback(&mut self, bus: &mut Bus<'_>, desc: u32, head: [u8; 64]) {
+        bus.pci.release_buffer();
+        let h = BufferHandle::from_descriptor(desc);
+        if bus.world.pool.read(h).is_some() {
+            let meta = *bus.world.meta_of(h);
+            let n = usize::from(meta.len).min(64);
+            if n > 0 {
+                bus.world.pool.write_at(h, 0, &head[..n]);
+            }
+            bus.world.queues.enqueue(usize::from(meta.qid), desc);
+        } else {
+            bus.world.counters.lap_losses.inc();
+        }
+        bus.wake_sa_in(0);
+    }
+}
+
+impl Plane for Pentium {
+    fn id(&self) -> PlaneId {
+        PlaneId::Pentium
+    }
+
+    fn step(&mut self, _at: Time, ev: PlaneEvent, bus: &mut Bus<'_>) {
+        match ev {
+            PlaneEvent::PeArrive(item) => {
+                let flow = usize::from(item.flow).min(self.inbound.len() - 1);
+                self.inbound[flow].push_back(item);
+                bus.wake_pe_in(0);
+            }
+            PlaneEvent::PeWake => self.wake(bus),
+            PlaneEvent::PeDone => self.finish(bus),
+            PlaneEvent::PeWriteback { desc, head } => self.writeback(bus, desc, head),
+            PlaneEvent::CtlSubmit(op) => {
+                self.ctl_q.push_back(op);
+                bus.wake_pe_in(0);
+            }
+            other => debug_assert!(false, "misrouted event {other:?}"),
+        }
     }
 }
 

@@ -1,26 +1,31 @@
-//! The router: the three-level processor hierarchy behind one event
-//! loop, plus construction, the install interface, and measurement.
+//! The composition root: builds the three processor planes over one
+//! event loop and routes each [`PlaneEvent`] to its level.
+//!
+//! The levels themselves live elsewhere — the MicroEngine fast path in
+//! [`crate::plane::FastPath`], the StrongARM in [`crate::sa`], the
+//! Pentium in [`crate::pe`]. The control interface is in
+//! [`crate::control`], measurement in [`crate::report`]. This module
+//! only assembles them: construction from a [`RouterConfig`], traffic
+//! attachment, and the dispatch loop.
 
 use std::collections::HashMap;
 
-use npr_ixp::{IStore, Ixp, IxpEv, PortId, RingId, Sched, TrafficSource};
-use npr_packet::{BufferHandle, EthernetFrame, Ipv4Header, Ipv4Proto, MacAddr, Mp, UdpHeader};
+use npr_ixp::{IStore, Ixp, PortId, RingId, TrafficSource};
+use npr_packet::{EthernetFrame, Ipv4Header, Ipv4Proto, MacAddr, Mp, UdpHeader};
 use npr_route::NextHop;
-use npr_sim::{cycles_to_ps, EventQueue, FaultPlan, Time, Wakeup, PENTIUM_HZ, PS_PER_SEC};
+use npr_sim::{EventQueue, FaultPlan, Time, Wakeup, PS_PER_SEC};
 use npr_vrp::VrpBudget;
 
-use crate::classify::{Key, WhereRun};
 use crate::config::{RouterConfig, TrafficTemplate};
 use crate::input::InputLoop;
-use crate::install::{
-    admit_me, admit_pe, admit_sa, flow_entry, AdmitError, Fid, InstallRecord, InstallRequest,
-};
+use crate::install::{Fid, InstallRecord};
 use crate::output::OutputLoop;
-use crate::pci::{Pci, ROUTING_HEADER_BYTES};
-use crate::pe::{PeAction, PeForwarder, PeItem, Pentium};
+use crate::pci::Pci;
+use crate::pe::Pentium;
+use crate::plane::{Bus, CtlStats, FastPath, IxpSched, Plane, PlaneEvent, PlaneId};
 use crate::queues::InputDiscipline;
-use crate::sa::{SaForwarder, SaJob, StrongArm};
-use crate::world::{Escalation, MeForwarder, RouterWorld, RunMode};
+use crate::sa::StrongArm;
+use crate::world::{RouterWorld, RunMode};
 
 /// Milliseconds of simulated time, in picoseconds.
 pub const fn ms(n: u64) -> Time {
@@ -30,166 +35,6 @@ pub const fn ms(n: u64) -> Time {
 /// Microseconds of simulated time, in picoseconds.
 pub const fn us(n: u64) -> Time {
     n * 1_000_000
-}
-
-/// Deferral bound before the StrongARM declares a never-assembling
-/// escalated packet dead (64 retries x ~6 us ~ 384 us — far past any
-/// legitimate assembly time, so live packets are never hit).
-const SA_MAX_DEFERRALS: u16 = 64;
-
-/// Router events.
-pub enum Ev {
-    /// Machine event.
-    Ixp(IxpEv),
-    /// StrongARM looks for work.
-    SaPoll,
-    /// StrongARM finished its current job.
-    SaDone,
-    /// A packet arrived at the Pentium over PCI.
-    PeArrive(PeItem),
-    /// The Pentium looks for work.
-    PeWake,
-    /// The Pentium finished its current packet.
-    PeDone,
-    /// A Pentium write-back crossed the bus.
-    PeWriteback {
-        /// IXP-side descriptor.
-        desc: u32,
-        /// Possibly modified head bytes.
-        head: [u8; 64],
-    },
-}
-
-struct IxpSched<'a>(&'a mut EventQueue<Ev>);
-
-impl Sched for IxpSched<'_> {
-    fn now(&self) -> Time {
-        self.0.now()
-    }
-    fn at(&mut self, t: Time, ev: IxpEv) {
-        self.0.schedule(t, Ev::Ixp(ev));
-    }
-}
-
-/// A measurement report over one window.
-#[derive(Debug, Clone, Default)]
-pub struct Report {
-    /// Window length in picoseconds.
-    pub window_ps: Time,
-    /// Packets completed by the input process, Mpps.
-    pub input_mpps: f64,
-    /// Packets transmitted (or stage-equivalent), Mpps.
-    pub forward_mpps: f64,
-    /// MPs through the input process, M/s.
-    pub input_mmps: f64,
-    /// MPs through the output process, M/s.
-    pub output_mmps: f64,
-    /// Measured mean register cycles per MP, input loop.
-    pub input_reg_per_mp: f64,
-    /// Measured mean register cycles per MP, output loop.
-    pub output_reg_per_mp: f64,
-    /// StrongARM completions, Kpps.
-    pub sa_kpps: f64,
-    /// Pentium completions, Kpps.
-    pub pe_kpps: f64,
-    /// Spare StrongARM cycles per StrongARM packet.
-    pub sa_spare_cycles: f64,
-    /// Spare Pentium cycles per Pentium packet.
-    pub pe_spare_cycles: f64,
-    /// Output-queue drops in the window.
-    pub queue_drops: u64,
-    /// StrongARM/Pentium staging-queue drops.
-    pub escalation_drops: u64,
-    /// Port receive drops (frames).
-    pub port_drops: u64,
-    /// Buffer-lap losses.
-    pub lap_losses: u64,
-    /// VRP drops.
-    pub vrp_drops: u64,
-    /// Mean mutex wait per acquisition, in MicroEngine cycles
-    /// (Figure 10's contention overhead).
-    pub mutex_wait_cycles: f64,
-    /// DRAM utilization.
-    pub dram_util: f64,
-    /// SRAM utilization.
-    pub sram_util: f64,
-    /// IX-bus DMA utilization.
-    pub dma_util: f64,
-    /// PCI utilization.
-    pub pci_util: f64,
-    /// Mean forwarding latency (arrival to wire), microseconds.
-    pub latency_avg_us: f64,
-    /// Median forwarding latency, microseconds.
-    pub latency_p50_us: f64,
-    /// 99th-percentile forwarding latency, microseconds.
-    pub latency_p99_us: f64,
-    /// Maximum forwarding latency in the window, microseconds.
-    pub latency_max_us: f64,
-}
-
-/// Packet-conservation ledger: every packet the input process admitted
-/// must be transmitted, claimed by exactly one terminal drop counter,
-/// or still visibly in flight. Built by [`Router::conservation`];
-/// checked continuously by the fault-injection suite.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Conservation {
-    /// Packets admitted by the input process (`input_pkts`).
-    pub admitted: u64,
-    /// Packets transmitted (`tx_pkts`).
-    pub transmitted: u64,
-    /// Output-queue overflow drops.
-    pub queue_drops: u64,
-    /// StrongARM/Pentium staging-queue overflow drops.
-    pub escalation_drops: u64,
-    /// No-route drops (trie miss with no exception handler).
-    pub no_route_drops: u64,
-    /// Post-admission buffer-lap losses.
-    pub lap_losses: u64,
-    /// StrongARM forwarder rejections.
-    pub sa_fwdr_drops: u64,
-    /// Pentium forwarder drops.
-    pub pe_drops: u64,
-    /// Pentium forwarder consumptions.
-    pub pe_consumed: u64,
-    /// Dead-assembly (truncation) discards.
-    pub truncated_drops: u64,
-    /// Packets visibly in flight: output queues, staging queues,
-    /// Pentium inbound queues, and active StrongARM/Pentium jobs.
-    pub in_flight: u64,
-    /// Stale buffer reads observed by the pool (one-lap invariant:
-    /// every counted lap loss is backed by at least one).
-    pub stale_reads: u64,
-}
-
-impl Conservation {
-    /// Packets that reached a terminal fate.
-    pub fn terminal(&self) -> u64 {
-        self.transmitted
-            + self.queue_drops
-            + self.escalation_drops
-            + self.no_route_drops
-            + self.lap_losses
-            + self.sa_fwdr_drops
-            + self.pe_drops
-            + self.pe_consumed
-            + self.truncated_drops
-    }
-
-    /// Terminal fates plus visible in-flight packets.
-    pub fn accounted(&self) -> u64 {
-        self.terminal() + self.in_flight
-    }
-
-    /// Admitted minus accounted: positive means packets vanished
-    /// without a counter; negative means something double-counted.
-    pub fn deficit(&self) -> i64 {
-        self.admitted as i64 - self.accounted() as i64
-    }
-
-    /// The conservation and one-lap invariants together.
-    pub fn holds(&self) -> bool {
-        self.deficit() == 0 && self.lap_losses <= self.stale_reads
-    }
 }
 
 /// A replaying traffic source for real-port experiments.
@@ -220,6 +65,9 @@ pub struct Router {
     pub ixp: Ixp<RouterWorld>,
     /// Shared data-plane state.
     pub world: RouterWorld,
+    /// The MicroEngine plane (the programs themselves run inside the
+    /// machine model; the plane lands control writes).
+    pub fast: FastPath,
     /// StrongARM level.
     pub sa: StrongArm,
     /// Pentium level.
@@ -231,21 +79,25 @@ pub struct Router {
     pub istore: IStore,
     /// Total VRP budget for the configured line rate.
     pub vrp_budget: VrpBudget,
-    events: EventQueue<Ev>,
-    /// Coalesces same-timestamp [`Ev::SaPoll`] wakeups (many producers
-    /// poke the StrongARM; one poll drains them all).
+    pub(crate) events: EventQueue<PlaneEvent>,
+    /// Coalesces same-timestamp [`PlaneEvent::SaPoll`] wakeups (many
+    /// producers poke the StrongARM; one poll drains them all).
     sa_waker: Wakeup,
-    /// Coalesces same-timestamp [`Ev::PeWake`] wakeups.
+    /// Coalesces same-timestamp [`PlaneEvent::PeWake`] wakeups.
     pe_waker: Wakeup,
     started: bool,
-    installs: HashMap<Fid, InstallRecord>,
-    next_fid: Fid,
+    pub(crate) installs: HashMap<Fid, InstallRecord>,
+    pub(crate) next_fid: Fid,
+    /// Control-plane accounting (lifetime totals).
+    pub(crate) ctl: CtlStats,
+    /// Snapshot of `ctl` at the last [`Router::mark`].
+    pub(crate) ctl_mark: CtlStats,
     /// Reserve all StrongARM capacity for bridging (admission policy).
     pub sa_reserved_for_pe: bool,
-    mutex_ids: Vec<npr_ixp::MutexId>,
-    window_start: Time,
-    sa_window_done0: u64,
-    pe_window_done0: u64,
+    pub(crate) mutex_ids: Vec<npr_ixp::MutexId>,
+    pub(crate) window_start: Time,
+    pub(crate) sa_window_done0: u64,
+    pub(crate) pe_window_done0: u64,
 }
 
 impl Router {
@@ -379,10 +231,14 @@ impl Router {
         let mut pe = Pentium::new(cfg.pe_costs, cfg.pe_classes);
         pe.delay_loop_cycles = cfg.pe_delay_loop;
         let pci = Pci::new(cfg.pe_buffers);
+        let fast = FastPath {
+            input_mes: cfg.input_ctxs.div_ceil(4),
+        };
 
         Self {
             ixp,
             world,
+            fast,
             sa,
             pe,
             pci,
@@ -394,6 +250,8 @@ impl Router {
             started: false,
             installs: HashMap::new(),
             next_fid: 1,
+            ctl: CtlStats::default(),
+            ctl_mark: CtlStats::default(),
             sa_reserved_for_pe: false,
             mutex_ids,
             window_start: 0,
@@ -484,7 +342,10 @@ impl Router {
         let mut s = IxpSched(events);
         ixp.start(world, &mut s);
         if self.sa.synth_feed.is_some() {
-            self.wake_sa_in(0);
+            let now = self.events.now();
+            if self.sa_waker.request(now) {
+                self.events.schedule(now, PlaneEvent::SaPoll);
+            }
         }
     }
 
@@ -500,524 +361,47 @@ impl Router {
         }
     }
 
-    /// Requests a StrongARM poll at absolute time `t`, coalescing
-    /// same-timestamp duplicates.
-    fn wake_sa_at(&mut self, t: Time) {
-        if self.sa_waker.request(t) {
-            self.events.schedule(t, Ev::SaPoll);
-        }
-    }
-
-    /// Requests a StrongARM poll `delay` after now.
-    fn wake_sa_in(&mut self, delay: Time) {
-        self.wake_sa_at(self.events.now() + delay);
-    }
-
-    /// Requests a Pentium wakeup `delay` after now, coalescing
-    /// same-timestamp duplicates.
-    fn wake_pe_in(&mut self, delay: Time) {
-        let t = self.events.now() + delay;
-        if self.pe_waker.request(t) {
-            self.events.schedule(t, Ev::PeWake);
-        }
-    }
-
-    fn dispatch(&mut self, at: Time, ev: Ev) {
+    /// Routes one event to its plane. This is the only place the three
+    /// levels meet: everything they share crosses through the [`Bus`]
+    /// built here for the duration of the step.
+    fn dispatch(&mut self, at: Time, ev: PlaneEvent) {
+        // Retire coalescing wakers before the step so a handler can
+        // request the next wakeup at the same timestamp.
         match ev {
-            Ev::Ixp(e) => {
-                let Self {
-                    ixp, world, events, ..
-                } = self;
-                let mut s = IxpSched(events);
-                ixp.handle(e, world, &mut s);
-            }
-            Ev::SaPoll => {
-                self.sa_waker.fire(at);
-                self.sa_poll();
-            }
-            Ev::SaDone => self.sa_done(),
-            Ev::PeArrive(item) => {
-                let flow = usize::from(item.flow).min(self.pe.inbound.len() - 1);
-                self.pe.inbound[flow].push_back(item);
-                self.wake_pe_in(0);
-            }
-            Ev::PeWake => {
-                self.pe_waker.fire(at);
-                self.pe_wake();
-            }
-            Ev::PeDone => self.pe_done(),
-            Ev::PeWriteback { desc, head } => self.pe_writeback(desc, head),
+            PlaneEvent::SaPoll => self.sa_waker.fire(at),
+            PlaneEvent::PeWake => self.pe_waker.fire(at),
+            _ => {}
         }
-        if self.world.sa_signal {
-            self.world.sa_signal = false;
-            self.wake_sa_in(0);
-        }
-    }
-
-    // --- StrongARM ---
-
-    /// True when the packet's MPs are all in DRAM (the StrongARM must
-    /// not act on a frame whose tail is still arriving on the wire; the
-    /// paper retrieves bodies lazily for the same reason).
-    fn sa_assembled(&self, desc: u32) -> bool {
-        let h = BufferHandle::from_descriptor(desc);
-        let m = self.world.meta_of(h);
-        m.mps_total != 0 && m.mps_written >= m.mps_total
-    }
-
-    /// Defers an incomplete packet: re-queues it and schedules a retry.
-    fn sa_defer(&mut self, q: fn(&mut RouterWorld) -> &mut crate::queues::PacketQueue, desc: u32) {
-        q(&mut self.world).enqueue(desc);
-        // Retry after roughly one MP wire time.
-        self.wake_sa_in(us(6));
-    }
-
-    /// Declares a never-assembling escalated packet dead once its
-    /// assembly was aborted (truncated frame) or it has been deferred
-    /// past the liveness bound. Returns `true` when the descriptor was
-    /// discarded — its terminal drop is counted here, exactly once.
-    fn sa_give_up(&mut self, desc: u32) -> bool {
-        let h = BufferHandle::from_descriptor(desc);
-        let meta = self.world.meta_mut(h);
-        meta.deferrals += 1;
-        if meta.aborted || meta.deferrals > SA_MAX_DEFERRALS {
-            self.world.escalations.remove(&desc);
-            self.world.counters.truncated_drops.inc();
-            return true;
-        }
-        false
-    }
-
-    fn sa_poll(&mut self) {
-        if self.sa.job.is_some() {
-            return;
-        }
-        let now = self.events.now();
-        // Priority 1: Pentium-bound staging queues.
-        for f in 0..self.world.sa_pe_q.len() {
-            if self.world.sa_pe_q[f].is_empty() {
-                continue;
-            }
-            if !self.pci.claim_buffer() {
-                break; // No Pentium buffers: try local work instead.
-            }
-            let desc = self.world.sa_pe_q[f].dequeue().expect("non-empty");
-            if !self.sa_assembled(desc) {
-                self.pci.release_buffer();
-                if self.sa_give_up(desc) {
-                    continue;
-                }
-                self.world.sa_pe_q[f].enqueue(desc);
-                self.wake_sa_in(us(6));
-                continue;
-            }
-            let esc = self.world.escalations.remove(&desc);
-            let fwdr = match esc {
-                Some(Escalation::Pe { fwdr, .. }) => fwdr,
-                _ => u32::MAX,
-            };
-            let h = BufferHandle::from_descriptor(desc);
-            let mps = self.world.meta_of(h).mps_total.max(1);
-            let cycles = self.sa.bridge_cycles(mps, self.cfg.lazy_body);
-            self.begin_sa_job(
-                SaJob::Bridge {
-                    desc,
-                    flow: f as u8,
-                    fwdr,
-                },
-                cycles,
-                now,
-            );
-            return;
-        }
-        // Priority 2: route-cache misses.
-        if let Some(desc) = self.world.sa_miss_q.dequeue() {
-            if !self.sa_assembled(desc) {
-                if self.sa_give_up(desc) {
-                    self.wake_sa_in(0);
-                    return;
-                }
-                self.sa_defer(|w| &mut w.sa_miss_q, desc);
-                return;
-            }
-            self.world.escalations.remove(&desc);
-            let h = BufferHandle::from_descriptor(desc);
-            let dst = self.world.pool.read(h).and_then(parse_dst).unwrap_or(0);
-            let (_, levels) = self.world.table.lookup_slow(dst);
-            let cycles = self.sa.miss_cycles(levels);
-            self.begin_sa_job(SaJob::Miss { desc }, cycles, now);
-            return;
-        }
-        // Priority 3: local forwarders.
-        if let Some(desc) = self.world.sa_local_q.dequeue() {
-            if !self.sa_assembled(desc) {
-                if self.sa_give_up(desc) {
-                    self.wake_sa_in(0);
-                    return;
-                }
-                self.sa_defer(|w| &mut w.sa_local_q, desc);
-                return;
-            }
-            let fwdr = match self.world.escalations.remove(&desc) {
-                Some(Escalation::SaLocal { fwdr }) => fwdr,
-                _ => u32::MAX,
-            };
-            let cycles = self.sa.local_cycles(fwdr);
-            // Local processing touches IXP DRAM (shared with the
-            // MicroEngines): charge the controller.
-            self.ixp.dram.access(now, npr_ixp::Rw::Read, 64);
-            self.ixp.dram.access(now, npr_ixp::Rw::Write, 64);
-            self.begin_sa_job(SaJob::Local { desc, fwdr }, cycles, now);
-            return;
-        }
-        // Synthetic feed (Table 4).
-        if let Some((len, lazy)) = self.sa.synth_feed {
-            if self.pci.claim_buffer() {
-                let mps = npr_packet::Mp::count_for_len(len) as u8;
-                let cycles = self.sa.bridge_cycles(mps, lazy);
-                self.begin_sa_job(SaJob::SynthBridge, cycles, now);
-            }
-            // Else: a PeWriteback/PeDone will re-poll us.
-        }
-    }
-
-    fn begin_sa_job(&mut self, job: SaJob, cycles: u64, now: Time) {
-        self.sa.job = Some(job);
-        let dur = cycles_to_ps(cycles);
-        self.sa.busy_ps += dur;
-        self.events.schedule(now + dur, Ev::SaDone);
-    }
-
-    /// Resolves the route for an escalated packet whose classification
-    /// missed the cache (the StrongARM owns the trie). Returns `false`
-    /// when the packet has no route and must be dropped.
-    fn sa_resolve_route(&mut self, h: BufferHandle) -> bool {
-        if !self.world.meta_of(h).needs_route {
-            return true;
-        }
-        let dst = self.world.pool.read(h).and_then(parse_dst);
-        let nh = dst.and_then(|d| self.world.table.lookup_and_fill(d).0);
-        match nh {
-            Some(nh) => {
-                let qid = self.world.queues.qid(usize::from(nh.port), 0) as u16;
-                let meta = self.world.meta_mut(h);
-                meta.out_port = nh.port;
-                meta.qid = qid;
-                meta.needs_route = false;
-                true
-            }
-            None => {
-                self.world.counters.no_route_drops.inc();
-                false
-            }
-        }
-    }
-
-    /// Runs a local forwarder over the packet and enqueues the result.
-    fn sa_finish_local(&mut self, desc: u32, fwdr: u32) {
-        if self.world.traced_descs.contains(&desc) {
-            let now = self.events.now();
-            self.world
-                .tracer
-                .record(now, crate::trace::TraceStep::StrongArm { kind: "local" });
-        }
-        let h = BufferHandle::from_descriptor(desc);
-        let mut ok = true;
-        let mut lapped = false;
-        match self.world.pool.read(h).map(|b| b.to_vec()) {
-            Some(mut bytes) => {
-                if let Some(f) = self.sa.forwarders.get_mut(fwdr as usize) {
-                    let mut meta = *self.world.meta_of(h);
-                    ok = (f.f)(&mut bytes, &mut meta);
-                    // The forwarder may have replaced the packet (ICMP
-                    // generation): refresh size-derived metadata and
-                    // write the bytes back; it may also have re-aimed
-                    // the packet (replies go out the ingress port), so
-                    // rebind the queue.
-                    bytes.truncate(2048);
-                    meta.len = bytes.len() as u16;
-                    let mps = npr_packet::Mp::count_for_len(bytes.len()) as u8;
-                    meta.mps_total = mps;
-                    meta.mps_written = mps;
-                    meta.qid = self.world.queues.qid(usize::from(meta.out_port), 0) as u16;
-                    *self.world.meta_mut(h) = meta;
-                    self.world.pool.write(h, &bytes);
-                }
-            }
-            None => {
-                self.world.counters.lap_losses.inc();
-                ok = false;
-                lapped = true;
-            }
-        }
-        if !ok && !lapped {
-            // The forwarder rejected or consumed the packet: this is
-            // its one terminal counter (it used to vanish uncounted).
-            self.world.counters.sa_fwdr_drops.inc();
-        }
-        if ok {
-            // Slow-path fragmentation: oversized packets are split per
-            // RFC 791 before transmission, each fragment in its own
-            // buffer (the DF-bit / unfragmentable case was already
-            // answered by the ICMP responder or dropped).
-            if let Some(mtu) = self.world.fragment_mtu {
-                let meta = *self.world.meta_of(h);
-                let needs = usize::from(meta.len).saturating_sub(14) > mtu;
-                if needs {
-                    let frame = self
-                        .world
-                        .pool
-                        .read(h)
-                        .map(|b| b.to_vec())
-                        .unwrap_or_default();
-                    if let Some(frags) = npr_packet::ipv4::fragment(&frame, mtu) {
-                        let now = self.events.now();
-                        let qid = usize::from(meta.qid);
-                        for frag in frags {
-                            let fh = self
-                                .world
-                                .alloc_packet(frag.len() as u16, meta.in_port, now);
-                            self.world.pool.write(fh, &frag);
-                            {
-                                let m = self.world.meta_mut(fh);
-                                m.out_port = meta.out_port;
-                                m.qid = meta.qid;
-                                let mps = npr_packet::Mp::count_for_len(frag.len()) as u8;
-                                m.mps_total = mps;
-                                m.mps_written = mps;
-                            }
-                            self.world.queues.enqueue(qid, fh.to_descriptor());
-                        }
-                        self.world.counters.sa_local_done.inc();
-                        return;
-                    }
-                    // DF set or unfragmentable: drop.
-                    self.world.counters.validation_drops.inc();
-                    return;
-                }
-            }
-            let qid = usize::from(self.world.meta_of(h).qid);
-            self.world.queues.enqueue(qid, desc);
-            self.world.counters.sa_local_done.inc();
-        }
-    }
-
-    fn sa_done(&mut self) {
-        let now = self.events.now();
-        let Some(job) = self.sa.job.take() else {
-            return;
+        let Self {
+            ixp,
+            world,
+            fast,
+            sa,
+            pe,
+            pci,
+            events,
+            sa_waker,
+            pe_waker,
+            ctl,
+            cfg,
+            ..
+        } = self;
+        let mut bus = Bus {
+            world,
+            pci,
+            ixp,
+            cfg,
+            ctl,
+            events,
+            sa_waker,
+            pe_waker,
         };
-        self.sa.done += 1;
-        match job {
-            SaJob::Bridge { desc, flow, fwdr } => {
-                if self.world.traced_descs.contains(&desc) {
-                    self.world
-                        .tracer
-                        .record(now, crate::trace::TraceStep::StrongArm { kind: "bridge" });
-                }
-                let h = BufferHandle::from_descriptor(desc);
-                if !self.sa_resolve_route(h) {
-                    self.pci.release_buffer();
-                    self.wake_sa_in(0);
-                    return;
-                }
-                let (head, len, mps) = match self.world.pool.read(h) {
-                    Some(b) => {
-                        let mut head = [0u8; 64];
-                        let n = b.len().min(64);
-                        head[..n].copy_from_slice(&b[..n]);
-                        let m = self.world.meta_of(h);
-                        (head, m.len, m.mps_total.max(1))
-                    }
-                    None => {
-                        self.world.counters.lap_losses.inc();
-                        self.pci.release_buffer();
-                        self.wake_sa_in(0);
-                        return;
-                    }
-                };
-                let bytes = if self.cfg.lazy_body {
-                    64 + ROUTING_HEADER_BYTES
-                } else {
-                    usize::from(len) + ROUTING_HEADER_BYTES
-                };
-                let done_t = self
-                    .pci
-                    .transfer_faulty(now, bytes, self.ixp.fault_plan_mut());
-                self.events.schedule(
-                    done_t,
-                    Ev::PeArrive(PeItem {
-                        desc,
-                        flow,
-                        fwdr,
-                        head,
-                        len,
-                        mps,
-                        lazy: self.cfg.lazy_body,
-                    }),
-                );
-            }
-            SaJob::SynthBridge => {
-                let (len, lazy) = self.sa.synth_feed.expect("synth feed configured");
-                let frame = build_udp_frame(1, 0, len);
-                let h = self.world.alloc_packet(len as u16, 9, now);
-                self.world.pool.write(h, &frame);
-                let qid = self.world.queues.qid(0, 0) as u16;
-                {
-                    let meta = self.world.meta_mut(h);
-                    meta.mps_written = meta.mps_total;
-                    meta.out_port = 0;
-                    meta.qid = qid;
-                }
-                let mut head = [0u8; 64];
-                let n = frame.len().min(64);
-                head[..n].copy_from_slice(&frame[..n]);
-                let bytes = if lazy {
-                    64 + ROUTING_HEADER_BYTES
-                } else {
-                    len + ROUTING_HEADER_BYTES
-                };
-                let done_t = self
-                    .pci
-                    .transfer_faulty(now, bytes, self.ixp.fault_plan_mut());
-                self.events.schedule(
-                    done_t,
-                    Ev::PeArrive(PeItem {
-                        desc: h.to_descriptor(),
-                        flow: 0,
-                        fwdr: u32::MAX,
-                        head,
-                        len: len as u16,
-                        mps: npr_packet::Mp::count_for_len(len) as u8,
-                        lazy,
-                    }),
-                );
-            }
-            SaJob::Local { desc, fwdr } => {
-                let h = BufferHandle::from_descriptor(desc);
-                if !self.sa_resolve_route(h) {
-                    self.wake_sa_in(0);
-                    return;
-                }
-                self.sa_finish_local(desc, fwdr);
-            }
-            SaJob::Miss { desc } => {
-                let h = BufferHandle::from_descriptor(desc);
-                let dst = self.world.pool.read(h).and_then(parse_dst).unwrap_or(0);
-                let (nh, _) = self.world.table.lookup_and_fill(dst);
-                match nh {
-                    Some(nh) => {
-                        let qid = self.world.queues.qid(usize::from(nh.port), 0);
-                        {
-                            let meta = self.world.meta_mut(h);
-                            meta.out_port = nh.port;
-                            meta.qid = qid as u16;
-                        }
-                        self.world.queues.enqueue(qid, desc);
-                        self.world.counters.sa_local_done.inc();
-                    }
-                    None if self.world.exception_sa_fwdr != u32::MAX => {
-                        // Unroutable packets (including traffic for the
-                        // router itself) go to the exception handler —
-                        // the ICMP responder answers pings and sources
-                        // Destination Unreachable.
-                        let fwdr = self.world.exception_sa_fwdr;
-                        self.sa_finish_local(desc, fwdr);
-                    }
-                    None => {
-                        // No route, no handler: drop.
-                        self.world.counters.no_route_drops.inc();
-                    }
-                }
-            }
+        match ev.dest() {
+            PlaneId::Fast => fast.step(at, ev, &mut bus),
+            PlaneId::StrongArm => sa.step(at, ev, &mut bus),
+            PlaneId::Pentium => pe.step(at, ev, &mut bus),
         }
-        self.wake_sa_in(0);
-    }
-
-    // --- Pentium ---
-
-    fn pe_wake(&mut self) {
-        if self.pe.current.is_some() {
-            return;
-        }
-        let Some(item) = self.pe.pick() else { return };
-        let cycles = self.pe.cycles_for(&item);
-        let dur = cycles * npr_sim::PS_PER_PENTIUM_CYCLE;
-        self.pe.busy_ps += dur;
-        self.pe.current = Some(item);
-        self.events.schedule_in(dur, Ev::PeDone);
-    }
-
-    fn pe_done(&mut self) {
-        let now = self.events.now();
-        let Some(mut item) = self.pe.current.take() else {
-            return;
-        };
-        self.pe.done += 1;
-        self.world.counters.pe_done.inc();
-        let action = match self.pe.forwarders.get_mut(item.fwdr as usize) {
-            Some(f) => (f.f)(&mut item.head, &mut self.world),
-            None => PeAction::Forward,
-        };
-        if self.world.traced_descs.contains(&item.desc) {
-            let label = match action {
-                PeAction::Forward => "forward",
-                PeAction::Drop => "drop",
-                PeAction::Consume => "consume",
-            };
-            self.world
-                .tracer
-                .record(now, crate::trace::TraceStep::Pentium { action: label });
-            if action != PeAction::Forward {
-                self.world.traced_descs.remove(&item.desc);
-            }
-        }
-        match action {
-            PeAction::Forward => {
-                let bytes = if item.lazy {
-                    64 + ROUTING_HEADER_BYTES
-                } else {
-                    usize::from(item.len) + ROUTING_HEADER_BYTES
-                };
-                let done_t = self
-                    .pci
-                    .transfer_faulty(now, bytes, self.ixp.fault_plan_mut());
-                self.events.schedule(
-                    done_t,
-                    Ev::PeWriteback {
-                        desc: item.desc,
-                        head: item.head,
-                    },
-                );
-            }
-            PeAction::Drop => {
-                self.world.counters.pe_drops.inc();
-                self.pci.release_buffer();
-                self.wake_sa_in(0);
-            }
-            PeAction::Consume => {
-                self.world.counters.pe_consumed.inc();
-                self.pci.release_buffer();
-                self.wake_sa_in(0);
-            }
-        }
-        self.wake_pe_in(0);
-    }
-
-    fn pe_writeback(&mut self, desc: u32, head: [u8; 64]) {
-        self.pci.release_buffer();
-        let h = BufferHandle::from_descriptor(desc);
-        if self.world.pool.read(h).is_some() {
-            let meta = *self.world.meta_of(h);
-            let n = usize::from(meta.len).min(64);
-            if n > 0 {
-                self.world.pool.write_at(h, 0, &head[..n]);
-            }
-            self.world.queues.enqueue(usize::from(meta.qid), desc);
-        } else {
-            self.world.counters.lap_losses.inc();
-        }
-        self.wake_sa_in(0);
+        bus.drain_signals();
     }
 
     /// Arms the packet tracer for IPv4 destination `dst` (records up to
@@ -1030,328 +414,6 @@ impl Router {
     /// The recorded trace so far.
     pub fn trace(&self) -> &crate::trace::Tracer {
         &self.world.tracer
-    }
-
-    // --- Install interface (paper, section 4.5) ---
-
-    /// Installs a StrongARM forwarder as the handler for exceptional
-    /// packets (TTL expiry, IP options) that no other forwarder claims.
-    pub fn install_exception_handler(&mut self, req: InstallRequest) -> Result<Fid, AdmitError> {
-        let fid = self.install(Key::All, req, None)?;
-        // The handler must not run on every packet as a general
-        // forwarder — it only serves escalations.
-        self.world.classifier.unbind(fid);
-        let rec = &self.installs[&fid];
-        debug_assert_eq!(
-            rec.where_run,
-            WhereRun::Sa,
-            "exception handlers run on the SA"
-        );
-        self.world.exception_sa_fwdr = rec.fwdr_index;
-        Ok(fid)
-    }
-
-    /// Installs a forwarder for `key` with `state_bytes` of flow state.
-    pub fn install(
-        &mut self,
-        key: Key,
-        req: InstallRequest,
-        out_port: Option<u8>,
-    ) -> Result<Fid, AdmitError> {
-        let fid = self.next_fid;
-        let (where_run, fwdr_index, istore_id, state_bytes) = match req {
-            InstallRequest::Me { prog } => {
-                let cost = admit_me(
-                    &self.world,
-                    &prog,
-                    &key,
-                    &self.vrp_budget,
-                    self.istore.free_slots(),
-                )?;
-                let slots = prog.istore_slots();
-                let id = self.istore.install(slots).map_err(AdmitError::IStore)?;
-                // Writing the instruction store "requires disabling the
-                // parallel processor" (section 4.5): every MicroEngine
-                // mirroring the store sits idle for the installation
-                // window, not just on paper — running contexts finish
-                // their current op and then stall until the thaw.
-                let until = self.events.now() + cycles_to_ps(IStore::install_cycles(slots));
-                for me in 0..self.cfg.input_ctxs.div_ceil(4) {
-                    self.ixp.freeze_me(me, until);
-                }
-                let state_bytes = usize::from(prog.state_bytes);
-                self.world.me_forwarders.push(MeForwarder { prog, cost });
-                (
-                    WhereRun::Me,
-                    (self.world.me_forwarders.len() - 1) as u32,
-                    Some(id),
-                    state_bytes,
-                )
-            }
-            InstallRequest::Sa { name, cycles, f } => {
-                admit_sa(self.sa_reserved_for_pe)?;
-                self.sa.forwarders.push(SaForwarder { name, cycles, f });
-                (
-                    WhereRun::Sa,
-                    (self.sa.forwarders.len() - 1) as u32,
-                    None,
-                    64,
-                )
-            }
-            InstallRequest::Pe {
-                name,
-                cycles,
-                tickets,
-                expected_pps,
-                f,
-            } => {
-                admit_pe(&self.pe.forwarders, cycles, expected_pps)?;
-                self.pe.forwarders.push(PeForwarder {
-                    name,
-                    cycles,
-                    tickets,
-                    expected_pps,
-                    f,
-                });
-                (
-                    WhereRun::Pe,
-                    (self.pe.forwarders.len() - 1) as u32,
-                    None,
-                    64,
-                )
-            }
-        };
-        // Allocate and zero the flow state ("allocates size bytes of
-        // SRAM memory to hold the flow state, and initializes it to
-        // zero").
-        self.world.flow_state.push(vec![0u8; state_bytes]);
-        let state_idx = (self.world.flow_state.len() - 1) as u32;
-        let entry = flow_entry(fid, where_run, fwdr_index, state_idx, out_port);
-        match key {
-            Key::All => self.world.classifier.bind_general(entry),
-            Key::Flow(k) => self.world.classifier.bind_flow(k, entry),
-        }
-        self.installs.insert(
-            fid,
-            InstallRecord {
-                key,
-                where_run,
-                fwdr_index,
-                state_idx,
-                istore_id,
-            },
-        );
-        self.next_fid += 1;
-        Ok(fid)
-    }
-
-    /// Removes an installed forwarder.
-    pub fn remove(&mut self, fid: Fid) -> Result<(), AdmitError> {
-        let rec = self.installs.remove(&fid).ok_or(AdmitError::NoSuchFid)?;
-        self.world.classifier.unbind(fid);
-        if let Some(id) = rec.istore_id {
-            let _ = self.istore.remove(id);
-        }
-        Ok(())
-    }
-
-    /// Lists installed forwarders: `(fid, name, where, istore slots)` —
-    /// the operator's view of the extension plane.
-    pub fn installed(&self) -> Vec<(Fid, String, WhereRun, usize)> {
-        let mut out: Vec<_> = self
-            .installs
-            .iter()
-            .map(|(&fid, rec)| {
-                let (name, slots) = match rec.where_run {
-                    WhereRun::Me => {
-                        let f = &self.world.me_forwarders[rec.fwdr_index as usize];
-                        (f.prog.name.clone(), f.prog.istore_slots())
-                    }
-                    WhereRun::Sa => (self.sa.forwarders[rec.fwdr_index as usize].name.clone(), 0),
-                    WhereRun::Pe => (self.pe.forwarders[rec.fwdr_index as usize].name.clone(), 0),
-                };
-                (fid, name, rec.where_run, slots)
-            })
-            .collect();
-        out.sort_by_key(|&(fid, ..)| fid);
-        out
-    }
-
-    /// Reads a forwarder's flow state (control/data communication).
-    pub fn getdata(&self, fid: Fid) -> Result<Vec<u8>, AdmitError> {
-        let rec = self.installs.get(&fid).ok_or(AdmitError::NoSuchFid)?;
-        Ok(self.world.flow_state[rec.state_idx as usize].clone())
-    }
-
-    /// Writes a forwarder's flow state.
-    pub fn setdata(&mut self, fid: Fid, data: &[u8]) -> Result<(), AdmitError> {
-        let rec = self.installs.get(&fid).ok_or(AdmitError::NoSuchFid)?;
-        let state = &mut self.world.flow_state[rec.state_idx as usize];
-        let n = data.len().min(state.len());
-        state[..n].copy_from_slice(&data[..n]);
-        Ok(())
-    }
-
-    // --- Invariant checkers ---
-
-    /// Builds the packet-conservation ledger from lifetime totals.
-    ///
-    /// Valid only on runs that never call [`Router::mark`] (marking
-    /// resets the queue drop statistics the ledger sums) and that do
-    /// not use slow-path fragmentation or the synthetic StrongARM feed
-    /// (both mint packets that were never admitted by the input
-    /// process).
-    pub fn conservation(&self) -> Conservation {
-        let c = &self.world.counters;
-        let escalation_drops = self.world.sa_local_q.drops()
-            + self.world.sa_miss_q.drops()
-            + self.world.sa_pe_q.iter().map(|q| q.drops()).sum::<u64>();
-        let in_flight = self.world.queues.total_queued()
-            + self.world.sa_local_q.len()
-            + self.world.sa_miss_q.len()
-            + self.world.sa_pe_q.iter().map(|q| q.len()).sum::<usize>()
-            + self.pe.inbound.iter().map(|q| q.len()).sum::<usize>()
-            + usize::from(self.sa.job.is_some())
-            + usize::from(self.pe.current.is_some());
-        Conservation {
-            admitted: c.input_pkts.total(),
-            transmitted: c.tx_pkts.total(),
-            queue_drops: self.world.queues.total_drops(),
-            escalation_drops,
-            no_route_drops: c.no_route_drops.total(),
-            lap_losses: c.lap_losses.total(),
-            sa_fwdr_drops: c.sa_fwdr_drops.total(),
-            pe_drops: c.pe_drops.total(),
-            pe_consumed: c.pe_consumed.total(),
-            truncated_drops: c.truncated_drops.total(),
-            in_flight: in_flight as u64,
-            stale_reads: self.world.pool.stale_reads(),
-        }
-    }
-
-    /// Quiescence watchdog: after traffic ends, runs the router in
-    /// `slice`-long steps until every admitted packet has reached a
-    /// terminal fate (nothing visibly in flight and the conservation
-    /// identity balances), giving up after `max_slices`. Returning
-    /// `false` is a loud signal of a silent deadlock or livelock —
-    /// some packet is stuck and no counter will ever claim it.
-    pub fn drain(&mut self, slice: Time, max_slices: usize) -> bool {
-        for _ in 0..max_slices {
-            let c = self.conservation();
-            if c.in_flight == 0 && c.holds() {
-                return true;
-            }
-            let t = self.now() + slice;
-            self.run_until(t);
-        }
-        let c = self.conservation();
-        c.in_flight == 0 && c.holds()
-    }
-
-    // --- Measurement ---
-
-    /// Marks the start of a measurement window.
-    pub fn mark(&mut self) {
-        let now = self.events.now();
-        self.window_start = now;
-        self.world.mark_counters(now);
-        self.ixp.reset_stats();
-        self.pci.reset_stats();
-        self.sa_window_done0 = self.sa.done;
-        self.pe_window_done0 = self.pe.done;
-        self.sa.busy_ps = 0;
-        self.pe.busy_ps = 0;
-    }
-
-    /// Runs `warmup`, marks, runs `window`, and reports.
-    pub fn measure(&mut self, warmup: Time, window: Time) -> Report {
-        self.run_until(warmup);
-        self.mark();
-        let t0 = self.events.now().max(warmup);
-        self.run_until(t0 + window);
-        self.report()
-    }
-
-    /// Builds a report over the current window.
-    pub fn report(&self) -> Report {
-        let now = self.events.now();
-        let w = now.saturating_sub(self.window_start).max(1);
-        let secs = w as f64 / PS_PER_SEC as f64;
-        let c = &self.world.counters;
-        let input_pkts = c.input_pkts.since_mark() as f64;
-        let tx: u64 = self.ixp.hw.ports.iter().map(|p| p.tx_frames).sum();
-        let port_drops: u64 = self.ixp.hw.ports.iter().map(|p| p.rx_frames_dropped).sum();
-        let forward = match self.cfg.mode {
-            RunMode::InputOnly => input_pkts,
-            _ => tx as f64,
-        };
-        let (mutex_wait, mutex_acq) = self
-            .mutex_ids
-            .iter()
-            .map(|&m| self.ixp.mutex_stats(m))
-            .fold((0u64, 0u64), |(a, b), (x, y)| (a + x, b + y));
-        let sa_done = (self.sa.done - self.sa_window_done0) as f64;
-        let pe_done = (self.pe.done - self.pe_window_done0) as f64;
-        let sa_spare = if sa_done > 0.0 {
-            (w.saturating_sub(self.sa.busy_ps) as f64 / 1e12) * 200e6 / sa_done
-        } else {
-            0.0
-        };
-        let pe_spare = if pe_done > 0.0 {
-            (w.saturating_sub(self.pe.busy_ps) as f64 / 1e12) * PENTIUM_HZ as f64 / pe_done
-        } else {
-            0.0
-        };
-        let in_mps = c.input_mps.since_mark() as f64;
-        let out_mps = c.output_mps.since_mark() as f64;
-        Report {
-            window_ps: w,
-            input_mpps: input_pkts / secs / 1e6,
-            forward_mpps: forward / secs / 1e6,
-            input_mmps: in_mps / secs / 1e6,
-            output_mmps: out_mps / secs / 1e6,
-            input_reg_per_mp: if in_mps > 0.0 {
-                c.input_reg_cycles.since_mark() as f64 / in_mps
-            } else {
-                0.0
-            },
-            output_reg_per_mp: if out_mps > 0.0 {
-                c.output_reg_cycles.since_mark() as f64 / out_mps
-            } else {
-                0.0
-            },
-            sa_kpps: sa_done / secs / 1e3,
-            pe_kpps: pe_done / secs / 1e3,
-            sa_spare_cycles: sa_spare,
-            pe_spare_cycles: pe_spare,
-            queue_drops: self.world.queues.total_drops(),
-            escalation_drops: self.world.sa_local_q.drops()
-                + self.world.sa_miss_q.drops()
-                + self.world.sa_pe_q.iter().map(|q| q.drops()).sum::<u64>(),
-            port_drops,
-            lap_losses: c.lap_losses.since_mark(),
-            vrp_drops: c.vrp_drops.since_mark(),
-            mutex_wait_cycles: if mutex_acq > 0 {
-                mutex_wait as f64 / mutex_acq as f64 / cycles_to_ps(1) as f64
-            } else {
-                0.0
-            },
-            latency_avg_us: {
-                let n = c.latency_samples.since_mark();
-                if n == 0 {
-                    0.0
-                } else {
-                    c.latency_sum_ps.since_mark() as f64 / n as f64 / 1e6
-                }
-            },
-            latency_p50_us: c.latency_hist.percentile(50.0) as f64 / 1e6,
-            latency_p99_us: c.latency_hist.percentile(99.0) as f64 / 1e6,
-            latency_max_us: c.latency_max_ps as f64 / 1e6,
-            dram_util: self.ixp.dram.busy_ps() as f64 / w as f64,
-            sram_util: self.ixp.sram.busy_ps() as f64 / w as f64,
-            dma_util: self.ixp.dma.busy_ps() as f64 / w as f64,
-            pci_util: self.pci.utilization(w),
-        }
     }
 }
 
@@ -1407,7 +469,7 @@ pub fn build_udp_frame(src_net: u8, dst_net: u8, len: usize) -> Vec<u8> {
 }
 
 /// Parses the IPv4 destination address out of an Ethernet frame.
-fn parse_dst(frame: &[u8]) -> Option<u32> {
+pub(crate) fn parse_dst(frame: &[u8]) -> Option<u32> {
     let eth = EthernetFrame::parse(frame).ok()?;
     let ip = Ipv4Header::parse(eth.payload()).ok()?;
     Some(ip.dst)

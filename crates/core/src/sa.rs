@@ -6,12 +6,26 @@
 //! full prefix match. Pentium-bound packets have priority over local
 //! work ("we currently implement a simple priority scheme that gives
 //! packets being passed up to the Pentium precedence over packets that
-//! are to be processed locally").
+//! are to be processed locally"). Control operations arriving over the
+//! bus ([`PlaneEvent::CtlAdmit`]) take precedence over everything: they
+//! are rare, and bounding their latency is what makes the operator
+//! interface usable.
+//!
+//! [`StrongArm`] is the plane for this level: it owns the job state and
+//! jump table, and reacts to its [`PlaneEvent`]s through the shared
+//! [`Bus`].
 
-use npr_sim::Time;
+use std::collections::VecDeque;
+
+use npr_packet::BufferHandle;
+use npr_sim::{cycles_to_ps, Time};
 
 use crate::costs::SaCosts;
-use crate::world::PktMeta;
+use crate::pci::ROUTING_HEADER_BYTES;
+use crate::pe::PeItem;
+use crate::plane::{Bus, ControlOp, Plane, PlaneEvent, PlaneId};
+use crate::router::build_udp_frame;
+use crate::world::{Escalation, PktMeta, RouterWorld};
 
 /// Signature of a StrongARM-local packet transformation: owned bytes
 /// (resizable) + metadata; `false` drops the packet.
@@ -65,6 +79,8 @@ pub enum SaJob {
     /// Synthetic feed for the Table 4 experiment: the StrongARM
     /// manufactures a packet of the configured size and bridges it.
     SynthBridge,
+    /// Executing a control operation that crossed the bus.
+    Control(ControlOp),
 }
 
 /// StrongARM state.
@@ -84,8 +100,11 @@ pub struct StrongArm {
     pub synth_feed: Option<(usize, bool)>,
     /// Busy picoseconds (for spare-cycle accounting).
     pub busy_ps: Time,
-    /// Packets completed (any job kind).
+    /// Packets completed (any packet job kind; control ops are counted
+    /// in [`crate::plane::CtlStats`] instead).
     pub done: u64,
+    /// Control operations awaiting execution (served before packets).
+    pub ctl_q: VecDeque<ControlOp>,
 }
 
 impl StrongArm {
@@ -100,6 +119,7 @@ impl StrongArm {
             synth_feed: None,
             busy_ps: 0,
             done: 0,
+            ctl_q: VecDeque::new(),
         }
     }
 
@@ -143,6 +163,446 @@ impl StrongArm {
     pub fn reset_stats(&mut self) {
         self.busy_ps = 0;
         self.done = 0;
+    }
+}
+
+/// True when the packet's MPs are all in DRAM (the StrongARM must not
+/// act on a frame whose tail is still arriving on the wire; the paper
+/// retrieves bodies lazily for the same reason).
+fn assembled(world: &RouterWorld, desc: u32) -> bool {
+    let h = BufferHandle::from_descriptor(desc);
+    let m = world.meta_of(h);
+    m.mps_total != 0 && m.mps_written >= m.mps_total
+}
+
+impl StrongArm {
+    /// Defers an incomplete packet: re-queues it and schedules a retry
+    /// after the configured interval.
+    fn defer(
+        &mut self,
+        bus: &mut Bus<'_>,
+        q: fn(&mut RouterWorld) -> &mut crate::queues::PacketQueue,
+        desc: u32,
+    ) {
+        q(bus.world).enqueue(desc);
+        bus.wake_sa_in(bus.cfg.sa_defer_interval_ps);
+    }
+
+    /// Declares a never-assembling escalated packet dead once its
+    /// assembly was aborted (truncated frame) or it has been deferred
+    /// past the liveness bound. Returns `true` when the descriptor was
+    /// discarded — its terminal drop is counted here, exactly once.
+    fn give_up(&mut self, bus: &mut Bus<'_>, desc: u32) -> bool {
+        let h = BufferHandle::from_descriptor(desc);
+        let meta = bus.world.meta_mut(h);
+        meta.deferrals += 1;
+        if meta.aborted || meta.deferrals > bus.cfg.sa_max_deferrals {
+            bus.world.escalations.remove(&desc);
+            bus.world.counters.truncated_drops.inc();
+            return true;
+        }
+        false
+    }
+
+    fn poll(&mut self, bus: &mut Bus<'_>) {
+        if self.job.is_some() {
+            return;
+        }
+        let now = bus.now();
+        // Priority 0: control operations (rare; latency-bounded).
+        if let Some(op) = self.ctl_q.pop_front() {
+            let cycles = bus.cfg.ctl_sa_cycles;
+            bus.ctl.sa_cycles += cycles;
+            self.begin_job(bus, SaJob::Control(op), cycles, now);
+            return;
+        }
+        // Priority 1: Pentium-bound staging queues.
+        for f in 0..bus.world.sa_pe_q.len() {
+            if bus.world.sa_pe_q[f].is_empty() {
+                continue;
+            }
+            if !bus.pci.claim_buffer() {
+                break; // No Pentium buffers: try local work instead.
+            }
+            let desc = bus.world.sa_pe_q[f].dequeue().expect("non-empty");
+            if !assembled(bus.world, desc) {
+                bus.pci.release_buffer();
+                if self.give_up(bus, desc) {
+                    continue;
+                }
+                bus.world.sa_pe_q[f].enqueue(desc);
+                bus.wake_sa_in(bus.cfg.sa_defer_interval_ps);
+                continue;
+            }
+            let esc = bus.world.escalations.remove(&desc);
+            let fwdr = match esc {
+                Some(Escalation::Pe { fwdr, .. }) => fwdr,
+                _ => u32::MAX,
+            };
+            let h = BufferHandle::from_descriptor(desc);
+            let mps = bus.world.meta_of(h).mps_total.max(1);
+            let cycles = self.bridge_cycles(mps, bus.cfg.lazy_body);
+            self.begin_job(
+                bus,
+                SaJob::Bridge {
+                    desc,
+                    flow: f as u8,
+                    fwdr,
+                },
+                cycles,
+                now,
+            );
+            return;
+        }
+        // Priority 2: route-cache misses.
+        if let Some(desc) = bus.world.sa_miss_q.dequeue() {
+            if !assembled(bus.world, desc) {
+                if self.give_up(bus, desc) {
+                    bus.wake_sa_in(0);
+                    return;
+                }
+                self.defer(bus, |w| &mut w.sa_miss_q, desc);
+                return;
+            }
+            bus.world.escalations.remove(&desc);
+            let h = BufferHandle::from_descriptor(desc);
+            let dst = bus
+                .world
+                .pool
+                .read(h)
+                .and_then(crate::router::parse_dst)
+                .unwrap_or(0);
+            let (_, levels) = bus.world.table.lookup_slow(dst);
+            let cycles = self.miss_cycles(levels);
+            self.begin_job(bus, SaJob::Miss { desc }, cycles, now);
+            return;
+        }
+        // Priority 3: local forwarders.
+        if let Some(desc) = bus.world.sa_local_q.dequeue() {
+            if !assembled(bus.world, desc) {
+                if self.give_up(bus, desc) {
+                    bus.wake_sa_in(0);
+                    return;
+                }
+                self.defer(bus, |w| &mut w.sa_local_q, desc);
+                return;
+            }
+            let fwdr = match bus.world.escalations.remove(&desc) {
+                Some(Escalation::SaLocal { fwdr }) => fwdr,
+                _ => u32::MAX,
+            };
+            let cycles = self.local_cycles(fwdr);
+            // Local processing touches IXP DRAM (shared with the
+            // MicroEngines): charge the controller.
+            bus.ixp.dram.access(now, npr_ixp::Rw::Read, 64);
+            bus.ixp.dram.access(now, npr_ixp::Rw::Write, 64);
+            self.begin_job(bus, SaJob::Local { desc, fwdr }, cycles, now);
+            return;
+        }
+        // Synthetic feed (Table 4).
+        if let Some((len, lazy)) = self.synth_feed {
+            if bus.pci.claim_buffer() {
+                let mps = npr_packet::Mp::count_for_len(len) as u8;
+                let cycles = self.bridge_cycles(mps, lazy);
+                self.begin_job(bus, SaJob::SynthBridge, cycles, now);
+            }
+            // Else: a PeWriteback/PeDone will re-poll us.
+        }
+    }
+
+    fn begin_job(&mut self, bus: &mut Bus<'_>, job: SaJob, cycles: u64, now: Time) {
+        self.job = Some(job);
+        let dur = cycles_to_ps(cycles);
+        self.busy_ps += dur;
+        bus.send_at(now + dur, PlaneEvent::SaDone);
+    }
+
+    /// Resolves the route for an escalated packet whose classification
+    /// missed the cache (the StrongARM owns the trie). Returns `false`
+    /// when the packet has no route and must be dropped.
+    fn resolve_route(bus: &mut Bus<'_>, h: BufferHandle) -> bool {
+        if !bus.world.meta_of(h).needs_route {
+            return true;
+        }
+        let dst = bus.world.pool.read(h).and_then(crate::router::parse_dst);
+        let nh = dst.and_then(|d| bus.world.table.lookup_and_fill(d).0);
+        match nh {
+            Some(nh) => {
+                let qid = bus.world.queues.qid(usize::from(nh.port), 0) as u16;
+                let meta = bus.world.meta_mut(h);
+                meta.out_port = nh.port;
+                meta.qid = qid;
+                meta.needs_route = false;
+                true
+            }
+            None => {
+                bus.world.counters.no_route_drops.inc();
+                false
+            }
+        }
+    }
+
+    /// Runs a local forwarder over the packet and enqueues the result.
+    fn finish_local(&mut self, bus: &mut Bus<'_>, desc: u32, fwdr: u32) {
+        if bus.world.traced_descs.contains(&desc) {
+            let now = bus.now();
+            bus.world
+                .tracer
+                .record(now, crate::trace::TraceStep::StrongArm { kind: "local" });
+        }
+        let h = BufferHandle::from_descriptor(desc);
+        let mut ok = true;
+        let mut lapped = false;
+        match bus.world.pool.read(h).map(|b| b.to_vec()) {
+            Some(mut bytes) => {
+                if let Some(f) = self.forwarders.get_mut(fwdr as usize) {
+                    let mut meta = *bus.world.meta_of(h);
+                    ok = (f.f)(&mut bytes, &mut meta);
+                    // The forwarder may have replaced the packet (ICMP
+                    // generation): refresh size-derived metadata and
+                    // write the bytes back; it may also have re-aimed
+                    // the packet (replies go out the ingress port), so
+                    // rebind the queue.
+                    bytes.truncate(2048);
+                    meta.len = bytes.len() as u16;
+                    let mps = npr_packet::Mp::count_for_len(bytes.len()) as u8;
+                    meta.mps_total = mps;
+                    meta.mps_written = mps;
+                    meta.qid = bus.world.queues.qid(usize::from(meta.out_port), 0) as u16;
+                    *bus.world.meta_mut(h) = meta;
+                    bus.world.pool.write(h, &bytes);
+                }
+            }
+            None => {
+                bus.world.counters.lap_losses.inc();
+                ok = false;
+                lapped = true;
+            }
+        }
+        if !ok && !lapped {
+            // The forwarder rejected or consumed the packet: this is
+            // its one terminal counter (it used to vanish uncounted).
+            bus.world.counters.sa_fwdr_drops.inc();
+        }
+        if ok {
+            // Slow-path fragmentation: oversized packets are split per
+            // RFC 791 before transmission, each fragment in its own
+            // buffer (the DF-bit / unfragmentable case was already
+            // answered by the ICMP responder or dropped).
+            if let Some(mtu) = bus.world.fragment_mtu {
+                let meta = *bus.world.meta_of(h);
+                let needs = usize::from(meta.len).saturating_sub(14) > mtu;
+                if needs {
+                    let frame = bus
+                        .world
+                        .pool
+                        .read(h)
+                        .map(|b| b.to_vec())
+                        .unwrap_or_default();
+                    if let Some(frags) = npr_packet::ipv4::fragment(&frame, mtu) {
+                        let now = bus.now();
+                        let qid = usize::from(meta.qid);
+                        for frag in frags {
+                            let fh = bus.world.alloc_packet(frag.len() as u16, meta.in_port, now);
+                            bus.world.pool.write(fh, &frag);
+                            {
+                                let m = bus.world.meta_mut(fh);
+                                m.out_port = meta.out_port;
+                                m.qid = meta.qid;
+                                let mps = npr_packet::Mp::count_for_len(frag.len()) as u8;
+                                m.mps_total = mps;
+                                m.mps_written = mps;
+                            }
+                            bus.world.queues.enqueue(qid, fh.to_descriptor());
+                        }
+                        bus.world.counters.sa_local_done.inc();
+                        return;
+                    }
+                    // DF set or unfragmentable: drop.
+                    bus.world.counters.validation_drops.inc();
+                    return;
+                }
+            }
+            let qid = usize::from(bus.world.meta_of(h).qid);
+            bus.world.queues.enqueue(qid, desc);
+            bus.world.counters.sa_local_done.inc();
+        }
+    }
+
+    /// Completes a control operation at this level: ME code continues
+    /// to the fast path as a [`PlaneEvent::CtlApply`]; `getdata`
+    /// replies cross the bus back up; everything else terminates here.
+    fn finish_control(&mut self, bus: &mut Bus<'_>, op: ControlOp) {
+        let now = bus.now();
+        if op.istore_slots() > 0 {
+            bus.send_at(now, PlaneEvent::CtlApply(op));
+            return;
+        }
+        let up = op.pci_up_bytes(bus.cfg.ctl_desc_bytes);
+        if up > 0 {
+            let done_t = bus.ctl_pci_transfer(up);
+            bus.ctl.complete(&op, done_t);
+        } else {
+            bus.ctl.complete(&op, now);
+        }
+    }
+
+    fn finish(&mut self, bus: &mut Bus<'_>) {
+        let now = bus.now();
+        let Some(job) = self.job.take() else {
+            return;
+        };
+        if let SaJob::Control(op) = job {
+            self.finish_control(bus, op);
+            bus.wake_sa_in(0);
+            return;
+        }
+        self.done += 1;
+        match job {
+            SaJob::Bridge { desc, flow, fwdr } => {
+                if bus.world.traced_descs.contains(&desc) {
+                    bus.world
+                        .tracer
+                        .record(now, crate::trace::TraceStep::StrongArm { kind: "bridge" });
+                }
+                let h = BufferHandle::from_descriptor(desc);
+                if !Self::resolve_route(bus, h) {
+                    bus.pci.release_buffer();
+                    bus.wake_sa_in(0);
+                    return;
+                }
+                let (head, len, mps) = match bus.world.pool.read(h) {
+                    Some(b) => {
+                        let mut head = [0u8; 64];
+                        let n = b.len().min(64);
+                        head[..n].copy_from_slice(&b[..n]);
+                        let m = bus.world.meta_of(h);
+                        (head, m.len, m.mps_total.max(1))
+                    }
+                    None => {
+                        bus.world.counters.lap_losses.inc();
+                        bus.pci.release_buffer();
+                        bus.wake_sa_in(0);
+                        return;
+                    }
+                };
+                let bytes = if bus.cfg.lazy_body {
+                    64 + ROUTING_HEADER_BYTES
+                } else {
+                    usize::from(len) + ROUTING_HEADER_BYTES
+                };
+                let lazy = bus.cfg.lazy_body;
+                let done_t = bus.pci_transfer(bytes);
+                bus.send_at(
+                    done_t,
+                    PlaneEvent::PeArrive(PeItem {
+                        desc,
+                        flow,
+                        fwdr,
+                        head,
+                        len,
+                        mps,
+                        lazy,
+                    }),
+                );
+            }
+            SaJob::SynthBridge => {
+                let (len, lazy) = self.synth_feed.expect("synth feed configured");
+                let frame = build_udp_frame(1, 0, len);
+                let h = bus.world.alloc_packet(len as u16, 9, now);
+                bus.world.pool.write(h, &frame);
+                let qid = bus.world.queues.qid(0, 0) as u16;
+                {
+                    let meta = bus.world.meta_mut(h);
+                    meta.mps_written = meta.mps_total;
+                    meta.out_port = 0;
+                    meta.qid = qid;
+                }
+                let mut head = [0u8; 64];
+                let n = frame.len().min(64);
+                head[..n].copy_from_slice(&frame[..n]);
+                let bytes = if lazy {
+                    64 + ROUTING_HEADER_BYTES
+                } else {
+                    len + ROUTING_HEADER_BYTES
+                };
+                let done_t = bus.pci_transfer(bytes);
+                bus.send_at(
+                    done_t,
+                    PlaneEvent::PeArrive(PeItem {
+                        desc: h.to_descriptor(),
+                        flow: 0,
+                        fwdr: u32::MAX,
+                        head,
+                        len: len as u16,
+                        mps: npr_packet::Mp::count_for_len(len) as u8,
+                        lazy,
+                    }),
+                );
+            }
+            SaJob::Local { desc, fwdr } => {
+                let h = BufferHandle::from_descriptor(desc);
+                if !Self::resolve_route(bus, h) {
+                    bus.wake_sa_in(0);
+                    return;
+                }
+                self.finish_local(bus, desc, fwdr);
+            }
+            SaJob::Miss { desc } => {
+                let h = BufferHandle::from_descriptor(desc);
+                let dst = bus
+                    .world
+                    .pool
+                    .read(h)
+                    .and_then(crate::router::parse_dst)
+                    .unwrap_or(0);
+                let (nh, _) = bus.world.table.lookup_and_fill(dst);
+                match nh {
+                    Some(nh) => {
+                        let qid = bus.world.queues.qid(usize::from(nh.port), 0);
+                        {
+                            let meta = bus.world.meta_mut(h);
+                            meta.out_port = nh.port;
+                            meta.qid = qid as u16;
+                        }
+                        bus.world.queues.enqueue(qid, desc);
+                        bus.world.counters.sa_local_done.inc();
+                    }
+                    None if bus.world.exception_sa_fwdr != u32::MAX => {
+                        // Unroutable packets (including traffic for the
+                        // router itself) go to the exception handler —
+                        // the ICMP responder answers pings and sources
+                        // Destination Unreachable.
+                        let fwdr = bus.world.exception_sa_fwdr;
+                        self.finish_local(bus, desc, fwdr);
+                    }
+                    None => {
+                        // No route, no handler: drop.
+                        bus.world.counters.no_route_drops.inc();
+                    }
+                }
+            }
+            SaJob::Control(_) => unreachable!("handled above"),
+        }
+        bus.wake_sa_in(0);
+    }
+}
+
+impl Plane for StrongArm {
+    fn id(&self) -> PlaneId {
+        PlaneId::StrongArm
+    }
+
+    fn step(&mut self, _at: Time, ev: PlaneEvent, bus: &mut Bus<'_>) {
+        match ev {
+            PlaneEvent::SaPoll => self.poll(bus),
+            PlaneEvent::SaDone => self.finish(bus),
+            PlaneEvent::CtlAdmit(op) => {
+                self.ctl_q.push_back(op);
+                bus.wake_sa_in(0);
+            }
+            other => debug_assert!(false, "misrouted event {other:?}"),
+        }
     }
 }
 

@@ -224,9 +224,10 @@ pub struct RouterWorld {
     pub sa_pe_q: Vec<PacketQueue>,
     /// Escalation tags for queued descriptors.
     pub escalations: HashMap<u32, Escalation>,
-    /// Set by input contexts when they signal the StrongARM; the router
-    /// event loop converts it into a poll event.
-    pub sa_signal: bool,
+    /// Signals raised by context programs (which can only see the
+    /// world); the dispatcher drains these into typed plane events
+    /// after every step.
+    pub signals: Vec<crate::plane::PlaneSignal>,
     /// StrongARM jump-table index handling exceptional packets (TTL
     /// expiry, IP options) when no installed forwarder claimed them.
     /// `u32::MAX` = the null handler (forward unmodified).
@@ -296,7 +297,7 @@ impl RouterWorld {
             sa_miss_q: PacketQueue::new(256),
             sa_pe_q: vec![PacketQueue::new(512)],
             escalations: HashMap::new(),
-            sa_signal: false,
+            signals: Vec::new(),
             exception_sa_fwdr: u32::MAX,
             wfq: None,
             fragment_mtu: None,

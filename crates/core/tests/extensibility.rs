@@ -245,11 +245,14 @@ fn installed_listing_reflects_the_extension_plane() {
         .unwrap();
     let list = r.installed();
     assert_eq!(list.len(), 2);
-    assert_eq!(list[0].0, a);
-    assert_eq!(list[0].1, "syn-monitor");
-    assert!(list[0].3 > 0, "ME forwarders occupy ISTORE slots");
-    assert_eq!(list[1].0, b);
-    assert_eq!(list[1].1, "full-ip");
+    assert_eq!(list[0].fid, a);
+    assert_eq!(list[0].name, "syn-monitor");
+    assert!(
+        list[0].istore_slots > 0,
+        "ME forwarders occupy ISTORE slots"
+    );
+    assert_eq!(list[1].fid, b);
+    assert_eq!(list[1].name, "full-ip");
     r.remove(a).unwrap();
     assert_eq!(r.installed().len(), 1);
 }

@@ -195,13 +195,15 @@ fn stride_scheduler_divides_pentium_between_classes() {
     // (100 tickets); flow 9001 (fid 2) is class 0 (400 tickets).
     let done = r.world.counters.pe_done.total();
     assert!(done > 500, "Pentium processed a meaningful batch: {done}");
-    // The 4:1 ratio shows up in the queue drain; verify indirectly via
-    // queue backlogs: the low-ticket class backs up more.
-    let high = r.world.sa_pe_q[0].len();
-    let low = r.world.sa_pe_q[1].len();
+    // Both staging queues saturate (offered load far exceeds Pentium
+    // capacity), so instantaneous depth is a phase artifact; the 4:1
+    // service ratio shows up robustly in cumulative overflow drops —
+    // the low-ticket class, drained 4x slower, sheds more.
+    let high_drops = r.world.sa_pe_q[0].drops();
+    let low_drops = r.world.sa_pe_q[1].drops();
     assert!(
-        low > high,
-        "low-ticket class should back up: high {high}, low {low}"
+        low_drops > high_drops,
+        "low-ticket class should shed more: high {high_drops}, low {low_drops}"
     );
 }
 

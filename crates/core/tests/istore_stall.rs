@@ -46,18 +46,26 @@ fn install_stalls_input_processing_for_the_write_window() {
     let baseline = r.world.counters.input_mps.total() - before;
     assert!(baseline > 10, "steady state should process MPs: {baseline}");
 
-    // Install: every input MicroEngine freezes until the store write
-    // completes. Contexts may finish the operation already in flight,
-    // but the window as a whole goes quiet.
-    let t1 = r.now();
-    let during0 = r.world.counters.input_mps.total();
+    // Install: the operation descends the hierarchy with real costs
+    // (Pentium marshal, PCI descriptor, StrongARM execution) before
+    // the store write begins, so first run until the op has landed.
     r.install(
         unused_flow(),
         npr_core::InstallRequest::Me { prog },
         None,
     )
     .expect("per-flow splicer admits");
-    r.run_until(t1 + window);
+    while r.ctl_in_flight() > 0 {
+        let t = r.now() + npr_core::us(1);
+        r.run_until(t);
+    }
+    // The op is retired the instant the store write starts (its freeze
+    // window lies just ahead), so the next window-length of simulation
+    // is the stall: every input MicroEngine freezes until the write
+    // completes. Contexts may finish the operation already in flight,
+    // but the window as a whole goes quiet.
+    let during0 = r.world.counters.input_mps.total();
+    r.run_until(r.now() + window);
     let during = r.world.counters.input_mps.total() - during0;
     assert!(
         during <= baseline / 4,

@@ -28,8 +28,11 @@ fn main() {
     state[20..24].copy_from_slice(&1514u32.to_be_bytes());
     router.setdata(fid, &state).unwrap();
 
-    for (f, name, lvl, slots) in router.installed() {
-        println!("installed: fid {f} \"{name}\" on {lvl:?} ({slots} ISTORE slots)\n");
+    for e in router.installed() {
+        println!(
+            "installed: fid {} \"{}\" on {:?} ({} ISTORE slots)\n",
+            e.fid, e.name, e.where_run, e.istore_slots
+        );
     }
 
     // 3. Arm the tracer and run traffic.

@@ -7,6 +7,16 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:-} -Dwarnings"
 
+# Module-size gate: the plane refactor split the Router god object;
+# no source module may grow back past 900 lines.
+oversize="$(find crates -path '*/src/*' -name '*.rs' -exec wc -l {} + \
+    | awk '$2 != "total" && $1 > 900 { print $2 " (" $1 " lines)" }')"
+if [ -n "$oversize" ]; then
+    echo "ERROR: module(s) over the 900-line limit:" >&2
+    echo "$oversize" >&2
+    exit 1
+fi
+
 # Tier-1: release build + full test suite.
 cargo build --release --offline
 cargo test -q --offline
@@ -55,6 +65,10 @@ fi
 # Record the graceful-degradation curves (Mpps vs fault rate per
 # injector class; seed-fixed, so the file is reproducible).
 cargo run --release --offline -p npr-bench --bin experiments -- faults --out BENCH_faults.json
+
+# Record the control-storm result: install/route-update churn must
+# leave fast-path Mpps within noise of the no-churn baseline.
+cargo run --release --offline -p npr-bench --bin experiments -- control --out BENCH_control.json
 
 
 # Hermetic-build gate: the dependency graph may contain only workspace
