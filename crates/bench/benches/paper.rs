@@ -133,7 +133,7 @@ fn bench_primitives(c: &mut Criterion) {
         })
     });
     // VRP interpretation of the IP-- forwarder.
-    let prog = npr_forwarders::ip_minimal();
+    let prog = npr_forwarders::ip_minimal().unwrap();
     g.bench_function("vrp_ip_minimal", |b| {
         let mut mp = [0u8; 64];
         // Valid IP header so the program takes its long path.

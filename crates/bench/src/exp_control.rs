@@ -112,7 +112,7 @@ pub fn control_storm(warmup: Time, window: Time) -> ControlResult {
                 r.install(
                     unused_flow(key_seq),
                     InstallRequest::Me {
-                        prog: npr_forwarders::syn_monitor(),
+                        prog: npr_forwarders::syn_monitor().expect("builtin assembles"),
                     },
                     None,
                 )

@@ -234,6 +234,7 @@ pub fn table4(warmup: Time, window: Time) -> Vec<PaperVsMeasured> {
 /// Table 5: forwarder costs (static analysis of the bytecode).
 pub fn table5_rows() -> Vec<(String, PaperVsMeasured, PaperVsMeasured)> {
     npr_forwarders::table5()
+        .expect("builtin rows assemble")
         .into_iter()
         .map(|row| {
             (

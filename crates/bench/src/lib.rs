@@ -16,6 +16,7 @@ pub mod exp_baseline;
 pub mod exp_control;
 pub mod exp_faults;
 pub mod exp_figures;
+pub mod exp_recovery;
 pub mod exp_robustness;
 pub mod exp_tables;
 pub mod fmt;
@@ -24,6 +25,7 @@ pub use exp_baseline::{baseline, BaselineResult};
 pub use exp_control::{control_json, control_storm, ControlResult};
 pub use exp_faults::{curves_json, fault_curve, fault_curves, FaultCurve, DEGRADE_RATES};
 pub use exp_figures::{fig10, fig7, fig9, Fig10Point, Fig7Result, Fig9Series};
+pub use exp_recovery::{recovery, recovery_json, RecoveryResult, RECOVERY_SEED};
 pub use exp_robustness::{budget, flood, linerate, robustness, slowpath, strongarm};
 pub use exp_tables::{table1, table2, table3, table4, table5_rows, PaperVsMeasured};
 

@@ -7,14 +7,15 @@
 //!   linerate strongarm robustness flood budget slowpath baseline
 //!   faults [--out PATH]
 //!   control [--out PATH]
+//!   recovery [--out PATH]
 //!   all
 //! ```
 
 use npr_bench::fmt;
 use npr_bench::{
     baseline, budget, control_json, control_storm, curves_json, fault_curves, fig10, fig7, fig9,
-    flood, linerate, robustness, slowpath, strongarm, table1, table2, table3, table4, table5_rows,
-    DEGRADE_RATES, WARMUP, WINDOW,
+    flood, linerate, recovery, recovery_json, robustness, slowpath, strongarm, table1, table2,
+    table3, table4, table5_rows, DEGRADE_RATES, WARMUP, WINDOW,
 };
 use npr_forwarders::PadKind;
 
@@ -32,6 +33,8 @@ fn main() {
              \n                                       fault plane (PATH gets the JSON)\
              \n  control [--out PATH]                 fast path under a control storm\
              \n                                       (PATH gets the JSON)\
+             \n  recovery [--out PATH]                health-monitor fault detection and\
+             \n                                       recovery episodes (PATH gets the JSON)\
              \n  all                                  everything (default)\n\
              \nSee also the `ablations` binary for beyond-the-paper studies."
         );
@@ -238,6 +241,41 @@ fn main() {
             .and_then(|i| args.get(i + 1))
         {
             std::fs::write(p, control_json(&r)).expect("write BENCH_control.json");
+            eprintln!("wrote {p}");
+        }
+    }
+    if all || which == "recovery" {
+        let results = recovery(WARMUP, WINDOW);
+        println!("\n== Health monitor: fault detection and recovery ==");
+        println!(
+            "{:<22} {:>10} {:>10} {:>10} {:>8} {:>12} {:>18}",
+            "class", "base Mpps", "fault", "recovered", "ratio", "evidence", "latency/bound us"
+        );
+        for r in &results {
+            let evidence = match r.class {
+                "sa-wedge" => format!("{} resets", r.sa_resets),
+                "overrun-quarantine" => format!("{} quar", r.quarantines),
+                _ => format!("{} exhaust", r.pci_exhausted),
+            };
+            println!(
+                "{:<22} {:>10.3} {:>10.3} {:>10.3} {:>8.4} {:>12} {:>9.1}/{:<8.1}",
+                r.class,
+                r.baseline_mpps,
+                r.faulted_mpps,
+                r.recovered_mpps,
+                r.recovered_ratio(),
+                evidence,
+                r.recovery_latency_avg_us,
+                r.detection_bound_us
+            );
+        }
+        println!("(post-recovery throughput must be >= 99% of the fault-free baseline)");
+        if let Some(p) = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+        {
+            std::fs::write(p, recovery_json(&results)).expect("write BENCH_recovery.json");
             eprintln!("wrote {p}");
         }
     }

@@ -38,7 +38,7 @@ pub enum Key {
 }
 
 /// Which processor a forwarder runs on (the `where` install argument).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WhereRun {
     /// MicroEngine (VRP bytecode in the ISTORE).
     Me,

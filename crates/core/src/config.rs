@@ -100,6 +100,28 @@ pub struct RouterConfig {
     /// Control-descriptor size on the PCI bus (verb, fid, lengths,
     /// completion address).
     pub ctl_desc_bytes: usize,
+    /// PCI retries before an aborted transaction abandons the retry
+    /// path and escalates to a locked transaction. Each abandonment
+    /// counts once in `Report::pci_retry_exhausted`.
+    pub pci_max_retries: u32,
+    /// Health-monitor epoch period (ps). The monitor piggybacks on the
+    /// event loop — it schedules nothing of its own, so a fault-free
+    /// run is bit-identical with the monitor armed. Default 50 us.
+    pub health_epoch_ps: u64,
+    /// Epochs of queued-work-but-no-progress before a plane is declared
+    /// wedged and the StrongARM is soft-reset.
+    pub health_wedge_epochs: u32,
+    /// A slow-path forwarder whose measured cycles/packet exceed its
+    /// declared cost by this factor starts climbing the escalation
+    /// ladder (warn -> throttle -> quarantine, one rung per epoch).
+    pub health_overrun_factor: f64,
+    /// VRP interpreter traps per epoch that put an ME forwarder on the
+    /// escalation ladder (traps on a *verified* program mean corrupted
+    /// input or a bad install, not load).
+    pub health_trap_threshold: u64,
+    /// Check the conservation ledger each epoch. Off by default: the
+    /// ledger is only meaningful on runs that never call `mark()`.
+    pub health_check_conservation: bool,
 }
 
 impl Default for RouterConfig {
@@ -136,6 +158,12 @@ impl Default for RouterConfig {
             ctl_pe_cycles: 2_000,
             ctl_sa_cycles: 1_500,
             ctl_desc_bytes: 32,
+            pci_max_retries: 4,
+            health_epoch_ps: 50_000_000,
+            health_wedge_epochs: 4,
+            health_overrun_factor: 1.5,
+            health_trap_threshold: 8,
+            health_check_conservation: false,
         }
     }
 }

@@ -233,8 +233,9 @@ impl Router {
     }
 
     /// Enqueues an admitted operation at the Pentium, where it begins
-    /// its descent through the hierarchy.
-    fn submit_ctl(&mut self, verb: ControlVerb) {
+    /// its descent through the hierarchy. Also used by the health
+    /// monitor to replay installs after a StrongARM soft reset.
+    pub(crate) fn submit_ctl(&mut self, verb: ControlVerb) {
         let now = self.events.now();
         let op = ControlOp {
             seq: self.ctl.submitted,

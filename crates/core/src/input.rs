@@ -294,9 +294,13 @@ impl InputLoop {
 
             // --- Synthetic VRP padding (Figure 9/10 harness). ---
             if let Some((prog, state)) = w.vrp_pad.as_mut() {
-                if let Ok(r) = npr_vrp::run(prog, &mut mp.data, state) {
-                    self.vrp_cycles += r.cycles;
-                    self.vrp_sram_left += r.sram_reads + r.sram_writes;
+                match npr_vrp::run(prog, &mut mp.data, state) {
+                    Ok(r) => {
+                        self.vrp_cycles += r.cycles;
+                        self.vrp_sram_left += r.sram_reads + r.sram_writes;
+                    }
+                    // Pads bypass the verifier, so they can trap.
+                    Err(_) => w.count_vrp_trap(None),
                 }
             }
 
@@ -317,16 +321,19 @@ impl InputLoop {
                     WhereRun::Me => {
                         let prog = &w.me_forwarders[e.fwdr_index as usize].prog;
                         let state = &mut w.flow_state[e.state_idx as usize];
-                        if let Ok(r) = npr_vrp::run(prog, &mut mp.data, state) {
-                            self.vrp_cycles += r.cycles;
-                            self.vrp_sram_left += r.sram_reads + r.sram_writes;
-                            if let Some(q) = r.queue_override {
-                                queue_override = Some(q);
+                        match npr_vrp::run(prog, &mut mp.data, state) {
+                            Ok(r) => {
+                                self.vrp_cycles += r.cycles;
+                                self.vrp_sram_left += r.sram_reads + r.sram_writes;
+                                if let Some(q) = r.queue_override {
+                                    queue_override = Some(q);
+                                }
+                                if r.action != VrpAction::Forward {
+                                    action = r.action;
+                                    break;
+                                }
                             }
-                            if r.action != VrpAction::Forward {
-                                action = r.action;
-                                break;
-                            }
+                            Err(_) => w.count_vrp_trap(Some(e.fwdr_index)),
                         }
                     }
                     WhereRun::Sa => {
@@ -451,9 +458,12 @@ impl InputLoop {
                         if e.where_run == WhereRun::Me {
                             let prog = &w.me_forwarders[e.fwdr_index as usize].prog;
                             let state = &mut w.flow_state[e.state_idx as usize];
-                            if let Ok(r) = npr_vrp::run(prog, &mut mp.data, state) {
-                                self.vrp_cycles += r.cycles;
-                                self.vrp_sram_left += r.sram_reads + r.sram_writes;
+                            match npr_vrp::run(prog, &mut mp.data, state) {
+                                Ok(r) => {
+                                    self.vrp_cycles += r.cycles;
+                                    self.vrp_sram_left += r.sram_reads + r.sram_writes;
+                                }
+                                Err(_) => w.count_vrp_trap(Some(e.fwdr_index)),
                             }
                         }
                     }

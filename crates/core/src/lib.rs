@@ -36,6 +36,7 @@ pub mod config;
 pub mod control;
 pub mod costs;
 pub mod fabric;
+pub mod health;
 pub mod input;
 pub mod install;
 pub mod output;
@@ -56,6 +57,7 @@ pub use config::{RouterConfig, TrafficTemplate};
 pub use control::InstalledEntry;
 pub use costs::{InputCosts, OutputCosts, PeCosts, SaCosts, INPUT_MEM_OPS, OUTPUT_MEM_OPS};
 pub use fabric::Fabric;
+pub use health::{FwdrStat, HealthMonitor, HealthStats};
 pub use install::{AdmitError, Fid, InstallRequest};
 pub use plane::{Bus, ControlOp, ControlVerb, CtlStats, Plane, PlaneEvent, PlaneId, PlaneSignal};
 pub use queues::{InputDiscipline, OutputDiscipline, PacketQueue, QueuePlane};

@@ -22,9 +22,10 @@ pub const PCI_TXN_OVERHEAD_PS: Time = 300_000; // 300 ns.
 /// Master back-off before retrying an aborted transaction.
 pub const PCI_RETRY_BACKOFF_PS: Time = 1_000_000; // 1 us.
 
-/// Retries before the bridge escalates to a locked transaction that
-/// cannot be aborted (bounds the wasted bus time per packet and keeps
-/// the path lossless even at a 100% injected error rate).
+/// Default retries before the bridge escalates to a locked transaction
+/// that cannot be aborted (bounds the wasted bus time per packet and
+/// keeps the path lossless even at a 100% injected error rate).
+/// Configurable per router via `RouterConfig::pci_max_retries`.
 pub const PCI_MAX_RETRIES: u32 = 4;
 
 /// The internal routing header prepended to packets crossing the bus
@@ -44,6 +45,9 @@ pub struct Pci {
     transfers: u64,
     errors: u64,
     retries: u64,
+    exhausted: u64,
+    /// Retry cap before escalation to a locked transaction.
+    pub max_retries: u32,
 }
 
 impl Pci {
@@ -57,6 +61,8 @@ impl Pci {
             transfers: 0,
             errors: 0,
             retries: 0,
+            exhausted: 0,
+            max_retries: PCI_MAX_RETRIES,
         }
     }
 
@@ -77,9 +83,11 @@ impl Pci {
     /// [`Pci::transfer`] under the fault plane: each attempt may be
     /// aborted (`FaultClass::PciError`), in which case the doomed
     /// transaction still occupies the bus for its full slot, the master
-    /// backs off, and the DMA is retried. After [`PCI_MAX_RETRIES`] the
-    /// bridge escalates to a locked transaction, so the transfer always
-    /// completes — errors waste bus time, they never lose packets.
+    /// backs off, and the DMA is retried. After `max_retries` attempts
+    /// the transaction abandons the retry path — counted exactly once
+    /// in `exhausted` — and the bridge escalates to a locked
+    /// transaction, so the transfer always completes: errors waste bus
+    /// time, they never lose packets.
     pub fn transfer_faulty(
         &mut self,
         now: Time,
@@ -91,11 +99,14 @@ impl Pci {
         };
         let mut at = now;
         let mut attempts = 0u32;
-        while attempts < PCI_MAX_RETRIES && f.roll(FaultClass::PciError) {
+        while attempts < self.max_retries && f.roll(FaultClass::PciError) {
             self.errors += 1;
             let occ = Self::occupancy_ps(bytes);
             at = self.bus.admit(at, occ, occ) + PCI_RETRY_BACKOFF_PS;
             attempts += 1;
+        }
+        if attempts == self.max_retries && self.max_retries > 0 {
+            self.exhausted += 1;
         }
         self.retries += u64::from(attempts);
         self.transfer(at, bytes)
@@ -109,6 +120,12 @@ impl Pci {
     /// Retried DMAs (sum of retry attempts).
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Transactions that exhausted their retry budget and were
+    /// abandoned to the locked-transaction path (once per transaction).
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted
     }
 
     /// Tries to claim a free Pentium-side buffer (the SA's pull from the
@@ -154,6 +171,7 @@ impl Pci {
         self.transfers = 0;
         self.errors = 0;
         self.retries = 0;
+        self.exhausted = 0;
         self.bus.reset_stats();
     }
 }
@@ -218,6 +236,46 @@ mod tests {
         assert_eq!(p.transfers(), 1);
         // 5 bus slots of 10.3 us plus 4 backoffs of 1 us.
         assert_eq!(done, 5 * 10_300_000 + 4 * 1_000_000);
+    }
+
+    #[test]
+    fn exhaustion_counts_once_per_abandoned_transaction() {
+        // At a 100% error rate every transfer burns its whole retry
+        // budget and is abandoned to the locked path: the exhaustion
+        // counter must advance by exactly one per transaction, for any
+        // configured cap.
+        for cap in [1u32, 2, 4, 7] {
+            let mut p = Pci::new(4);
+            p.max_retries = cap;
+            let mut plan =
+                FaultPlan::new(11).with_rate(FaultClass::PciError, npr_sim::fault::PPM);
+            for n in 1..=5u64 {
+                let _ = p.transfer_faulty(0, 64, Some(&mut plan));
+                assert_eq!(p.exhausted(), n, "cap {cap}: once per transaction");
+            }
+            assert_eq!(p.errors(), 5 * u64::from(cap));
+        }
+    }
+
+    #[test]
+    fn surviving_retry_paths_are_not_counted_exhausted() {
+        // A transaction whose retry succeeds before the cap never
+        // touches the exhaustion counter.
+        let mut p = Pci::new(4);
+        let mut plan = FaultPlan::new(13).with_rate(FaultClass::PciError, 100_000);
+        for _ in 0..64 {
+            let _ = p.transfer_faulty(0, 64, Some(&mut plan));
+        }
+        assert!(p.errors() > 0, "the 10% rate must abort something");
+        // Seed 13 at 10%: no run of 4 consecutive aborts in 64 tries.
+        assert_eq!(p.exhausted(), 0);
+        // reset_stats clears the window counter like its siblings.
+        p.max_retries = 1;
+        let mut always = FaultPlan::new(1).with_rate(FaultClass::PciError, npr_sim::fault::PPM);
+        let _ = p.transfer_faulty(0, 64, Some(&mut always));
+        assert_eq!(p.exhausted(), 1);
+        p.reset_stats();
+        assert_eq!(p.exhausted(), 0);
     }
 
     #[test]

@@ -4,12 +4,13 @@
 //! marshalled here before crossing the bus, sharing the single Pentium
 //! server with packet forwarders.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use npr_packet::BufferHandle;
 use npr_sim::Time;
 
 use crate::costs::PeCosts;
+use crate::health::FwdrStat;
 use crate::pci::ROUTING_HEADER_BYTES;
 use crate::plane::{Bus, ControlOp, Plane, PlaneEvent, PlaneId};
 use crate::sched::Stride;
@@ -102,6 +103,16 @@ pub struct Pentium {
     pub busy_ps: Time,
     /// Packets completed.
     pub done: u64,
+    /// Jobs finished since construction (packets *and* control ops) —
+    /// the health monitor's progress signal.
+    pub jobs_finished: u64,
+    /// Injected per-packet overrun cycles per forwarder (fault hook).
+    pub overruns: HashMap<u32, u64>,
+    /// Forwarders throttled by the health monitor.
+    pub throttled: HashSet<u32>,
+    /// Attempted-cost accounting per forwarder, fed to the
+    /// runtime-overrun detector.
+    pub fwdr_stats: HashMap<u32, FwdrStat>,
 }
 
 impl Pentium {
@@ -122,6 +133,43 @@ impl Pentium {
             delay_loop_cycles: 0,
             busy_ps: 0,
             done: 0,
+            jobs_finished: 0,
+            overruns: HashMap::new(),
+            throttled: HashSet::new(),
+            fwdr_stats: HashMap::new(),
+        }
+    }
+
+    /// Polices a forwarder's runtime cost: returns the extra cycles to
+    /// charge this packet (0 when well-behaved or throttled) and
+    /// records the *attempted* cost for the overrun detector.
+    fn police(&mut self, fwdr: u32) -> u64 {
+        let extra = self.overruns.get(&fwdr).copied().unwrap_or(0);
+        if extra == 0 {
+            return 0;
+        }
+        let declared = self
+            .forwarders
+            .get(fwdr as usize)
+            .map(|f| f.cycles)
+            .unwrap_or(0);
+        let stat = self.fwdr_stats.entry(fwdr).or_default();
+        stat.pkts += 1;
+        stat.attempted_cycles += declared + extra;
+        if self.throttled.contains(&fwdr) {
+            0 // The throttle rung preempts at the declared cost.
+        } else {
+            extra
+        }
+    }
+
+    /// Fault hook: makes forwarder `fwdr` overrun its declared budget
+    /// by `extra` cycles per packet (0 restores good behavior).
+    pub fn misbehave(&mut self, fwdr: u32, extra: u64) {
+        if extra == 0 {
+            self.overruns.remove(&fwdr);
+        } else {
+            self.overruns.insert(fwdr, extra);
         }
     }
 
@@ -179,7 +227,7 @@ impl Pentium {
             return;
         }
         let Some(item) = self.pick() else { return };
-        let cycles = self.cycles_for(&item);
+        let cycles = self.cycles_for(&item) + self.police(item.fwdr);
         let dur = cycles * npr_sim::PS_PER_PENTIUM_CYCLE;
         self.busy_ps += dur;
         self.current = Some(item);
@@ -191,6 +239,7 @@ impl Pentium {
         // A marshalled control op heads down the bus to the StrongARM.
         // Control descriptors do not claim I2O packet buffers.
         if let Some(op) = self.ctl_current.take() {
+            self.jobs_finished += 1;
             let bytes = op.pci_down_bytes(bus.cfg.ctl_desc_bytes);
             let done_t = bus.ctl_pci_transfer(bytes);
             bus.send_at(done_t, PlaneEvent::CtlAdmit(op));
@@ -200,6 +249,7 @@ impl Pentium {
         let Some(mut item) = self.current.take() else {
             return;
         };
+        self.jobs_finished += 1;
         self.done += 1;
         bus.world.counters.pe_done.inc();
         let action = match self.forwarders.get_mut(item.fwdr as usize) {

@@ -153,10 +153,23 @@ pub enum PlaneEvent {
     CtlApply(ControlOp),
     /// StrongARM: look for work.
     SaPoll,
-    /// StrongARM: the current job finished.
-    SaDone,
+    /// StrongARM: the current job finished. The generation number guards
+    /// against stale completions: a watchdog soft reset bumps the
+    /// StrongARM's generation, so a `SaDone` scheduled by the wedged job
+    /// is ignored when it finally fires.
+    SaDone {
+        /// StrongARM generation that scheduled this completion.
+        gen: u64,
+    },
     /// StrongARM: a control op crossed the bus from the Pentium.
     CtlAdmit(ControlOp),
+    /// Watchdog pulse: scheduled by the health monitor when it first
+    /// observes a stall, so detection happens at the configured bound
+    /// even if the event queue would otherwise go quiet. A no-op at the
+    /// plane (the monitor samples after every dispatched event). Never
+    /// scheduled on a healthy run — the fault-free schedule stays
+    /// bit-identical.
+    HealthPulse,
     /// Pentium: a packet arrived over PCI.
     PeArrive(PeItem),
     /// Pentium: look for work.
@@ -182,7 +195,10 @@ impl PlaneEvent {
     pub fn dest(&self) -> PlaneId {
         match self {
             PlaneEvent::Machine(_) | PlaneEvent::CtlApply(_) => PlaneId::Fast,
-            PlaneEvent::SaPoll | PlaneEvent::SaDone | PlaneEvent::CtlAdmit(_) => PlaneId::StrongArm,
+            PlaneEvent::SaPoll
+            | PlaneEvent::SaDone { .. }
+            | PlaneEvent::CtlAdmit(_)
+            | PlaneEvent::HealthPulse => PlaneId::StrongArm,
             PlaneEvent::PeArrive(_)
             | PlaneEvent::PeWake
             | PlaneEvent::PeDone

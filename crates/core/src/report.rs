@@ -70,6 +70,24 @@ pub struct Report {
     pub ctl_pci_bytes: u64,
     /// Mean control-op latency (submit to terminal level), microseconds.
     pub ctl_latency_avg_us: f64,
+    /// Health-monitor epochs sampled in the window.
+    pub health_epochs: u64,
+    /// Health warnings raised in the window.
+    pub health_warnings: u64,
+    /// Forwarders throttled in the window.
+    pub health_throttles: u64,
+    /// Forwarders quarantined in the window.
+    pub health_quarantines: u64,
+    /// StrongARM watchdog soft resets in the window.
+    pub sa_resets: u64,
+    /// Recovery actions completed in the window.
+    pub recoveries: u64,
+    /// Mean detection-to-recovery latency, microseconds.
+    pub recovery_latency_avg_us: f64,
+    /// PCI transactions that exhausted their retry budget in the window.
+    pub pci_retry_exhausted: u64,
+    /// VRP interpreter traps in the window (counted, never aborting).
+    pub vrp_traps: u64,
 }
 
 /// Packet-conservation ledger: every packet the input process admitted
@@ -210,6 +228,7 @@ impl Router {
         self.sa.busy_ps = 0;
         self.pe.busy_ps = 0;
         self.ctl_mark = self.ctl;
+        self.health.mark();
     }
 
     /// Runs `warmup`, marks, runs `window`, and reports.
@@ -254,6 +273,7 @@ impl Router {
         let in_mps = c.input_mps.since_mark() as f64;
         let out_mps = c.output_mps.since_mark() as f64;
         let ctl_ops = self.ctl.completed - self.ctl_mark.completed;
+        let hs = self.health.since_mark();
         Report {
             window_ps: w,
             input_mpps: input_pkts / secs / 1e6,
@@ -312,6 +332,15 @@ impl Router {
             } else {
                 0.0
             },
+            health_epochs: hs.epochs,
+            health_warnings: hs.warnings,
+            health_throttles: hs.throttles,
+            health_quarantines: hs.quarantines,
+            sa_resets: hs.sa_resets,
+            recoveries: hs.recoveries,
+            recovery_latency_avg_us: hs.recovery_latency_avg_us(),
+            pci_retry_exhausted: self.pci.exhausted(),
+            vrp_traps: c.vrp_traps.since_mark(),
         }
     }
 }

@@ -17,6 +17,7 @@ use npr_sim::{EventQueue, FaultPlan, Time, Wakeup, PS_PER_SEC};
 use npr_vrp::VrpBudget;
 
 use crate::config::{RouterConfig, TrafficTemplate};
+use crate::health::HealthMonitor;
 use crate::input::InputLoop;
 use crate::install::{Fid, InstallRecord};
 use crate::output::OutputLoop;
@@ -82,9 +83,9 @@ pub struct Router {
     pub(crate) events: EventQueue<PlaneEvent>,
     /// Coalesces same-timestamp [`PlaneEvent::SaPoll`] wakeups (many
     /// producers poke the StrongARM; one poll drains them all).
-    sa_waker: Wakeup,
+    pub(crate) sa_waker: Wakeup,
     /// Coalesces same-timestamp [`PlaneEvent::PeWake`] wakeups.
-    pe_waker: Wakeup,
+    pub(crate) pe_waker: Wakeup,
     started: bool,
     pub(crate) installs: HashMap<Fid, InstallRecord>,
     pub(crate) next_fid: Fid,
@@ -98,6 +99,10 @@ pub struct Router {
     pub(crate) window_start: Time,
     pub(crate) sa_window_done0: u64,
     pub(crate) pe_window_done0: u64,
+    /// The runtime health monitor (watchdog, overrun policing,
+    /// quarantine, recovery). Armed by default; piggybacks on the event
+    /// loop and schedules nothing of its own.
+    pub health: HealthMonitor,
 }
 
 impl Router {
@@ -230,7 +235,8 @@ impl Router {
         sa.synth_feed = cfg.sa_synth_feed;
         let mut pe = Pentium::new(cfg.pe_costs, cfg.pe_classes);
         pe.delay_loop_cycles = cfg.pe_delay_loop;
-        let pci = Pci::new(cfg.pe_buffers);
+        let mut pci = Pci::new(cfg.pe_buffers);
+        pci.max_retries = cfg.pci_max_retries;
         let fast = FastPath {
             input_mes: cfg.input_ctxs.div_ceil(4),
         };
@@ -257,6 +263,7 @@ impl Router {
             window_start: 0,
             sa_window_done0: 0,
             pe_window_done0: 0,
+            health: HealthMonitor::new(&cfg),
             cfg,
         }
     }
@@ -358,6 +365,10 @@ impl Router {
         // between the two calls).
         while let Some((at, ev)) = self.events.pop_if_at_or_before(t) {
             self.dispatch(at, ev);
+            // The health monitor samples between events: it observes
+            // the planes but schedules nothing, so a fault-free run is
+            // bit-identical with the monitor armed.
+            self.health_tick(at);
         }
     }
 

@@ -15,17 +15,27 @@
 //! jump table, and reacts to its [`PlaneEvent`]s through the shared
 //! [`Bus`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use npr_packet::BufferHandle;
-use npr_sim::{cycles_to_ps, Time};
+use npr_sim::{cycles_to_ps, FaultClass, Time};
 
 use crate::costs::SaCosts;
+use crate::health::FwdrStat;
 use crate::pci::ROUTING_HEADER_BYTES;
 use crate::pe::PeItem;
 use crate::plane::{Bus, ControlOp, Plane, PlaneEvent, PlaneId};
 use crate::router::build_udp_frame;
 use crate::world::{Escalation, PktMeta, RouterWorld};
+
+/// Shortest injected wedge hang (`FaultClass::SaWedge`), in
+/// picoseconds. Chosen far above any legitimate job (the costliest
+/// bridge is ~25 us) and far above the default watchdog detection bound
+/// (4 epochs x 50 us = 200 us), so a wedge is always caught mid-hang.
+pub const SA_WEDGE_MIN_PS: Time = 500_000_000;
+
+/// Spread of the injected hang above [`SA_WEDGE_MIN_PS`] (uniform).
+pub const SA_WEDGE_SPREAD_PS: Time = 500_000_000;
 
 /// Signature of a StrongARM-local packet transformation: owned bytes
 /// (resizable) + metadata; `false` drops the packet.
@@ -105,6 +115,24 @@ pub struct StrongArm {
     pub done: u64,
     /// Control operations awaiting execution (served before packets).
     pub ctl_q: VecDeque<ControlOp>,
+    /// Jobs finished since construction (packets *and* control ops) —
+    /// the health monitor's progress signal: a held `job` with no
+    /// `jobs_finished` movement across epochs is a wedge.
+    pub jobs_finished: u64,
+    /// Reset generation. Bumped by [`StrongArm::soft_reset`] so stale
+    /// `SaDone` completions from the pre-reset job are ignored.
+    pub gen: u64,
+    /// Completion time of the current job (busy-time rollback on reset).
+    pub job_done_at: Time,
+    /// Injected per-packet overrun cycles per local forwarder (the
+    /// fault hook behind the runtime-budget detector).
+    pub overruns: HashMap<u32, u64>,
+    /// Forwarders throttled by the health monitor: their overrun is no
+    /// longer charged (the scheduler preempts at the declared cost).
+    pub throttled: HashSet<u32>,
+    /// Attempted-cost accounting per local forwarder, fed to the
+    /// runtime-overrun detector.
+    pub fwdr_stats: HashMap<u32, FwdrStat>,
 }
 
 impl StrongArm {
@@ -120,6 +148,12 @@ impl StrongArm {
             busy_ps: 0,
             done: 0,
             ctl_q: VecDeque::new(),
+            jobs_finished: 0,
+            gen: 0,
+            job_done_at: 0,
+            overruns: HashMap::new(),
+            throttled: HashSet::new(),
+            fwdr_stats: HashMap::new(),
         }
     }
 
@@ -291,7 +325,7 @@ impl StrongArm {
                 Some(Escalation::SaLocal { fwdr }) => fwdr,
                 _ => u32::MAX,
             };
-            let cycles = self.local_cycles(fwdr);
+            let cycles = self.local_cycles(fwdr) + self.police(fwdr);
             // Local processing touches IXP DRAM (shared with the
             // MicroEngines): charge the controller.
             bus.ixp.dram.access(now, npr_ixp::Rw::Read, 64);
@@ -312,9 +346,98 @@ impl StrongArm {
 
     fn begin_job(&mut self, bus: &mut Bus<'_>, job: SaJob, cycles: u64, now: Time) {
         self.job = Some(job);
-        let dur = cycles_to_ps(cycles);
+        let mut dur = cycles_to_ps(cycles);
+        // Injected wedge: the job hangs far past any legitimate cost.
+        // The watchdog must detect and reset before the hang resolves.
+        if let Some(f) = bus.ixp.fault_plan_mut() {
+            if f.roll(FaultClass::SaWedge) {
+                dur += f.draw_window(FaultClass::SaWedge, SA_WEDGE_MIN_PS, SA_WEDGE_SPREAD_PS);
+            }
+        }
         self.busy_ps += dur;
-        bus.send_at(now + dur, PlaneEvent::SaDone);
+        self.job_done_at = now + dur;
+        bus.send_at(now + dur, PlaneEvent::SaDone { gen: self.gen });
+    }
+
+    /// Polices a local forwarder's runtime cost: returns the extra
+    /// cycles to charge this packet (0 when well-behaved or throttled)
+    /// and records the *attempted* cost for the overrun detector.
+    fn police(&mut self, fwdr: u32) -> u64 {
+        let extra = self.overruns.get(&fwdr).copied().unwrap_or(0);
+        if extra == 0 {
+            return 0;
+        }
+        let declared = self
+            .forwarders
+            .get(fwdr as usize)
+            .map(|f| f.cycles)
+            .unwrap_or(0);
+        let stat = self.fwdr_stats.entry(fwdr).or_default();
+        stat.pkts += 1;
+        stat.attempted_cycles += declared + extra;
+        if self.throttled.contains(&fwdr) {
+            0 // The throttle rung preempts at the declared cost.
+        } else {
+            extra
+        }
+    }
+
+    /// Fault hook: makes local forwarder `fwdr` overrun its declared
+    /// budget by `extra` cycles per packet (0 restores good behavior).
+    pub fn misbehave(&mut self, fwdr: u32, extra: u64) {
+        if extra == 0 {
+            self.overruns.remove(&fwdr);
+        } else {
+            self.overruns.insert(fwdr, extra);
+        }
+    }
+
+    /// Watchdog soft reset (paper, section 5: the StrongARM "can be
+    /// rebooted without disturbing the MicroEngines"). Abandons the
+    /// wedged job losslessly — the held packet re-enters the staging
+    /// queue it came from — rolls back the phantom busy time, and bumps
+    /// the generation so the stale completion event is ignored. The
+    /// caller (the health monitor) replays verified installs afterward.
+    pub fn soft_reset(&mut self, bus: &mut Bus<'_>) {
+        let now = bus.now();
+        self.gen += 1;
+        if self.job_done_at > now {
+            self.busy_ps = self.busy_ps.saturating_sub(self.job_done_at - now);
+            self.job_done_at = now;
+        }
+        match self.job.take() {
+            Some(SaJob::Bridge { desc, flow, fwdr }) => {
+                bus.pci.release_buffer();
+                bus.world
+                    .escalations
+                    .insert(desc, Escalation::Pe { flow, fwdr });
+                if !bus.world.sa_pe_q[usize::from(flow)].enqueue(desc) {
+                    bus.world.escalations.remove(&desc);
+                }
+            }
+            Some(SaJob::Local { desc, fwdr }) => {
+                bus.world
+                    .escalations
+                    .insert(desc, Escalation::SaLocal { fwdr });
+                if !bus.world.sa_local_q.enqueue(desc) {
+                    bus.world.escalations.remove(&desc);
+                }
+            }
+            Some(SaJob::Miss { desc }) => {
+                bus.world.escalations.insert(desc, Escalation::SaMiss);
+                if !bus.world.sa_miss_q.enqueue(desc) {
+                    bus.world.escalations.remove(&desc);
+                }
+            }
+            Some(SaJob::SynthBridge) => {
+                bus.pci.release_buffer();
+            }
+            Some(SaJob::Control(op)) => {
+                self.ctl_q.push_front(op);
+            }
+            None => {}
+        }
+        bus.wake_sa_in(0);
     }
 
     /// Resolves the route for an escalated packet whose classification
@@ -452,6 +575,7 @@ impl StrongArm {
         let Some(job) = self.job.take() else {
             return;
         };
+        self.jobs_finished += 1;
         if let SaJob::Control(op) = job {
             self.finish_control(bus, op);
             bus.wake_sa_in(0);
@@ -596,7 +720,13 @@ impl Plane for StrongArm {
     fn step(&mut self, _at: Time, ev: PlaneEvent, bus: &mut Bus<'_>) {
         match ev {
             PlaneEvent::SaPoll => self.poll(bus),
-            PlaneEvent::SaDone => self.finish(bus),
+            // Completions from a pre-reset generation are stale: the
+            // job they would finish was requeued by the soft reset.
+            PlaneEvent::SaDone { gen } if gen == self.gen => self.finish(bus),
+            PlaneEvent::SaDone { .. } => {}
+            // The pulse exists to advance the clock to the watchdog
+            // deadline; the monitor itself samples after the dispatch.
+            PlaneEvent::HealthPulse => {}
             PlaneEvent::CtlAdmit(op) => {
                 self.ctl_q.push_back(op);
                 bus.wake_sa_in(0);

@@ -137,6 +137,11 @@ pub struct Counters {
     /// (truncated by the MAC or mislabeled by a corrupted tag) — the
     /// port-successor check or a liveness watchdog declared them dead.
     pub truncated_drops: Counter,
+    /// VRP interpreter traps: a program run returned a runtime error
+    /// instead of an action. A verified program cannot trap, so these
+    /// mark unverified pads or corrupted installs; the packet continues
+    /// down the default path (a trap is never a process abort).
+    pub vrp_traps: Counter,
     /// Packets transmitted (counted by output data plumbing in system
     /// mode; port counters are authoritative).
     pub tx_pkts: Counter,
@@ -176,6 +181,7 @@ impl Counters {
         self.pe_drops.mark(now);
         self.pe_consumed.mark(now);
         self.truncated_drops.mark(now);
+        self.vrp_traps.mark(now);
         self.tx_pkts.mark(now);
         self.input_reg_cycles.mark(now);
         self.output_reg_cycles.mark(now);
@@ -214,6 +220,9 @@ pub struct RouterWorld {
     pub table: RoutingTable,
     /// Installed MicroEngine forwarders, indexed by `fwdr_index`.
     pub me_forwarders: Vec<MeForwarder>,
+    /// Interpreter traps per ME forwarder (same indexing); the health
+    /// monitor uses the attribution to pick a quarantine target.
+    pub me_traps: Vec<u64>,
     /// Per-flow SRAM state blocks, indexed by `state_idx`.
     pub flow_state: Vec<Vec<u8>>,
     /// StrongARM-local work queue.
@@ -292,6 +301,7 @@ impl RouterWorld {
             classifier: Classifier::new(),
             table: RoutingTable::new(4096),
             me_forwarders: Vec::new(),
+            me_traps: Vec::new(),
             flow_state: Vec::new(),
             sa_local_q: PacketQueue::new(512),
             sa_miss_q: PacketQueue::new(256),
@@ -349,6 +359,21 @@ impl RouterWorld {
     /// Mutable metadata for a (current) handle.
     pub fn meta_mut(&mut self, h: BufferHandle) -> &mut PktMeta {
         &mut self.meta[h.index() as usize]
+    }
+
+    /// Counts a VRP interpreter trap, attributing it to an installed ME
+    /// forwarder when one was running (pads run unattributed). The
+    /// packet itself continues down the default path — a trap is a
+    /// counted event, never an abort.
+    pub fn count_vrp_trap(&mut self, fwdr: Option<u32>) {
+        self.counters.vrp_traps.inc();
+        if let Some(i) = fwdr {
+            let i = i as usize;
+            if self.me_traps.len() <= i {
+                self.me_traps.resize(i + 1, 0);
+            }
+            self.me_traps[i] += 1;
+        }
     }
 
     /// Marks a measurement window on all world counters.

@@ -110,7 +110,7 @@ fn setdata_larger_than_the_state_is_refused() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: syn_monitor(),
+                prog: syn_monitor().unwrap(),
             },
             None,
         )
@@ -157,7 +157,7 @@ fn control_ops_consume_cycles_at_every_level() {
 #[test]
 fn me_install_latency_covers_the_freeze_window() {
     let mut r = Router::new(RouterConfig::line_rate());
-    let prog = syn_monitor();
+    let prog = syn_monitor().unwrap();
     let slots = prog.istore_slots();
     let window = cycles_to_ps(IStore::install_cycles(slots));
     r.install(Key::All, InstallRequest::Me { prog }, None)

@@ -106,6 +106,16 @@ fn run_scenario() -> u64 {
 
     // Liveness floor — a digest of a dead run would pin nothing.
     assert!(report.forward_mpps > 0.1, "flood stalled: {report:?}");
+    // The health monitor is armed at its default epoch for the whole
+    // run: it must observe the router (epochs advance) without
+    // perturbing the schedule — the pinned digest below is the guard
+    // that its sampling stays passive on a fault-free run.
+    assert!(
+        router.health.stats.epochs > 0,
+        "health monitor armed but never sampled"
+    );
+    assert_eq!(router.health.stats.sa_resets, 0);
+    assert_eq!(router.health.stats.quarantines, 0);
     let installed = (0..40u32)
         .filter(|&x| {
             router

@@ -59,7 +59,7 @@ fn ip_minimal_decrements_ttl_on_the_wire_path() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: npr_forwarders::ip_minimal(),
+                prog: npr_forwarders::ip_minimal().unwrap(),
             },
             None,
         )

@@ -21,7 +21,7 @@ fn install_lifecycle_round_trip() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: syn_monitor(),
+                prog: syn_monitor().unwrap(),
             },
             None,
         )
@@ -45,7 +45,7 @@ fn all_table5_forwarders_install_together() {
     // counts), so the heavyweight services go per-flow; the SYN monitor
     // and IP-- run on every packet.
     let mut r = Router::new(RouterConfig::line_rate());
-    let rows = table5();
+    let rows = table5().unwrap();
     for (i, row) in rows.into_iter().enumerate() {
         let key = match row.name {
             "SYN Monitor" | "IP--" => Key::All,
@@ -185,7 +185,7 @@ fn control_and_data_halves_share_state() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: syn_monitor(),
+                prog: syn_monitor().unwrap(),
             },
             None,
         )
@@ -235,7 +235,7 @@ fn installed_listing_reflects_the_extension_plane() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: syn_monitor(),
+                prog: syn_monitor().unwrap(),
             },
             None,
         )

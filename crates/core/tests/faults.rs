@@ -87,6 +87,9 @@ fn rate_for(class: FaultClass) -> u32 {
         FaultClass::PortFlap => 2_000,
         FaultClass::MpCorrupt => 10_000,
         FaultClass::PciError => 100_000,
+        // Rolled once per StrongARM job; each hit hangs the SA until
+        // the health watchdog resets it, so keep hits rare.
+        FaultClass::SaWedge => 2_000,
     }
 }
 
@@ -143,6 +146,11 @@ proptest! {
     #[test]
     fn pci_error_conserves_packets(seed: u64) {
         class_case(FaultClass::PciError, seed)?;
+    }
+
+    #[test]
+    fn sa_wedge_conserves_packets(seed: u64) {
+        class_case(FaultClass::SaWedge, seed)?;
     }
 
     #[test]
@@ -226,4 +234,139 @@ fn regression_seed_zero_all_classes() {
     for &c in &FAULT_CLASSES {
         class_case(c, 0).unwrap();
     }
+}
+
+/// The marker source address carried only by the decoy header embedded
+/// in the frame payload: 10.99.0.1. Real frame heads carry the
+/// `FrameSpec` default source, so the pad passes them untouched.
+const DECOY_SRC: u32 = u32::from_be_bytes([10, 99, 0, 1]);
+
+/// A VRP program that traps only on the decoy source address — i.e.
+/// only when a corrupt-tag MP promoted mid-frame payload to a false
+/// packet head. The trap itself is a 4-byte state read beyond the
+/// program's 4 declared state bytes — exactly the class of runtime
+/// violation the static verifier would have rejected at install time.
+fn trap_on_decoy_header() -> npr_vrp::VrpProgram {
+    use npr_vrp::{Cond, Insn, Src};
+    npr_vrp::VrpProgram {
+        name: "trap-on-decoy".into(),
+        insns: vec![
+            // IPv4 source address lives at frame offset 14 + 12.
+            Insn::LdW { dst: 0, off: 26 },
+            Insn::BrCond {
+                cond: Cond::Ne,
+                a: 0,
+                b: Src::Imm(DECOY_SRC),
+                target: 3,
+            },
+            Insn::SramRd { dst: 1, off: 92 },
+            Insn::Done,
+        ],
+        state_bytes: 4,
+    }
+}
+
+/// Builds a router fed with three-MP frames whose payload embeds a
+/// complete, valid decoy frame aligned exactly to the second MP
+/// (frame bytes 64..124). A corrupt-tag fault that relabels that
+/// intermediate MP as `First`/`Only` creates a false packet head that
+/// *passes* header validation — the hostile case that must reach the
+/// interpreter rather than being screened out by the parsers.
+fn build_decoy_router() -> Router {
+    let cfg = RouterConfig::line_rate();
+    let mut r = Router::new(cfg);
+    let dst = u32::from_be_bytes([10, 4, 0, 1]);
+    r.world.table.lookup_and_fill(dst);
+    let decoy = npr_traffic::udp_frame(
+        &npr_traffic::FrameSpec {
+            src: DECOY_SRC,
+            dst,
+            ..Default::default()
+        },
+        &[],
+    );
+    // Outer frame: 42 header bytes + 150 payload = 192 bytes = 3 MPs.
+    // Payload offset 22 puts the decoy at frame byte 64, the start of
+    // the intermediate MP.
+    let mut payload = vec![0u8; 150];
+    payload[22..22 + decoy.len()].copy_from_slice(&decoy);
+    let frames: Vec<_> = (0..100)
+        .map(|i| {
+            let spec = npr_traffic::FrameSpec {
+                len: 192,
+                dst,
+                ..Default::default()
+            };
+            (i * 15_000_000, npr_traffic::udp_frame(&spec, &payload))
+        })
+        .collect();
+    r.attach_source(2, Box::new(npr_traffic::TraceSource::new(frames)));
+    r
+}
+
+/// Dynamic-trap pin: corrupt-tag MPs reaching the interpreter produce a
+/// *counted* trap — the process never aborts, the run still quiesces,
+/// and the conservation ledger still balances. The trap-prone program
+/// is injected as a measurement pad, which bypasses the verifier the
+/// same way a false start MP bypasses classification.
+#[test]
+fn corrupt_mps_trap_in_the_interpreter_without_aborting() {
+    let mut r = build_decoy_router();
+    r.set_vrp_pad(trap_on_decoy_header());
+    r.set_fault_plan(Some(
+        FaultPlan::new(5).with_rate(FaultClass::MpCorrupt, 200_000),
+    ));
+    r.run_until(horizon());
+    assert!(r.drain(us(100), 600), "trapping pad must not wedge the run");
+    let c = r.conservation();
+    assert!(c.holds(), "deficit={} {c:?}", c.deficit());
+    let traps = r.world.counters.vrp_traps.total();
+    assert!(traps > 0, "the decoy pad never trapped");
+    // Unattributed pad traps never escalate to quarantine.
+    assert_eq!(r.health.stats.quarantines, 0);
+}
+
+/// Without fault injection the decoy payload is inert: the pad sees
+/// only real frame heads and never fires. Pins that the trap above is
+/// really caused by tag corruption, not by the traffic shape.
+#[test]
+fn decoy_payload_is_inert_without_faults() {
+    let mut r = build_decoy_router();
+    r.set_vrp_pad(trap_on_decoy_header());
+    r.run_until(horizon());
+    assert!(r.drain(us(100), 600));
+    assert_eq!(r.world.counters.vrp_traps.total(), 0);
+}
+
+/// The wedge class actually wedges — and the watchdog actually resets.
+/// Detection must happen within the configured bound: stall onset to
+/// reset is at most `health_wedge_epochs` epochs.
+#[test]
+fn sa_wedge_is_detected_and_reset_within_bound() {
+    // SA-heavy variant of the shared scenario: a third of the traffic
+    // bridges through the StrongARM so the wedge injector sees enough
+    // jobs to fire even over the short debug horizon.
+    let mut cfg = RouterConfig::line_rate();
+    cfg.divert_sa_permille = 300;
+    let mut r = Router::new(cfg);
+    r.attach_cbr(0, 0.5, CBR_FRAMES, 2);
+    r.attach_cbr(1, 0.5, CBR_FRAMES, 3);
+    r.set_fault_plan(Some(
+        FaultPlan::new(3).with_rate(FaultClass::SaWedge, 200_000),
+    ));
+    r.run_until(horizon());
+    assert!(r.drain(us(100), 600));
+    let c = r.conservation();
+    assert!(c.holds(), "deficit={} {c:?}", c.deficit());
+    let stats = r.health.stats;
+    assert!(stats.sa_resets > 0, "the 20% wedge rate never tripped");
+    // Mean detection-to-reset latency within the watchdog bound: the
+    // lazily-armed pulse guarantees a sample at the deadline even on a
+    // quiet event queue (1us of slack for epoch-boundary alignment).
+    let bound_us = r.health.detection_bound_ps() as f64 / 1e6;
+    let avg = stats.recovery_latency_avg_us();
+    assert!(
+        avg <= bound_us + 1.0,
+        "mean recovery latency {avg:.1}us exceeds watchdog bound {bound_us:.1}us"
+    );
 }

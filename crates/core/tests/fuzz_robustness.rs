@@ -56,7 +56,7 @@ fn garbage_traffic_case(seed: u64) -> Result<(), String> {
     r.install(
         Key::All,
         InstallRequest::Me {
-            prog: npr_forwarders::syn_monitor(),
+            prog: npr_forwarders::syn_monitor().unwrap(),
         },
         None,
     )
@@ -64,7 +64,7 @@ fn garbage_traffic_case(seed: u64) -> Result<(), String> {
     r.install(
         Key::All,
         InstallRequest::Me {
-            prog: npr_forwarders::port_filter(),
+            prog: npr_forwarders::port_filter().unwrap(),
         },
         None,
     )

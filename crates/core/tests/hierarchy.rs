@@ -424,7 +424,7 @@ fn slow_path_fragments_oversized_packets() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: npr_forwarders::ip_minimal(),
+                prog: npr_forwarders::ip_minimal().unwrap(),
             },
             None,
         )

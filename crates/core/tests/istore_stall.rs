@@ -31,7 +31,7 @@ fn loaded_router() -> Router {
 
 #[test]
 fn install_stalls_input_processing_for_the_write_window() {
-    let prog = npr_forwarders::tcp_splicer();
+    let prog = npr_forwarders::tcp_splicer().unwrap();
     let window = cycles_to_ps(IStore::install_cycles(prog.istore_slots()));
     assert!(window > 0);
 
@@ -100,8 +100,8 @@ fn install_stalls_input_processing_for_the_write_window() {
 #[test]
 fn larger_programs_stall_longer() {
     // The stall window scales with program size: 80 cycles per slot.
-    let small = npr_forwarders::dscp_tagger().istore_slots();
-    let large = npr_forwarders::tcp_splicer().istore_slots();
+    let small = npr_forwarders::dscp_tagger().unwrap().istore_slots();
+    let large = npr_forwarders::tcp_splicer().unwrap().istore_slots();
     assert!(large > small);
     assert_eq!(IStore::install_cycles(small), 80 * small as u64);
     assert!(IStore::install_cycles(large) > IStore::install_cycles(small));

@@ -5,7 +5,7 @@
 //! exact microcode is unpublished, so instruction counts differ by a few
 //! operations; [`table5`] reports ours beside the paper's.
 
-use npr_vrp::{Asm, Cond, Insn, Src, VrpProgram};
+use npr_vrp::{Asm, AsmError, Cond, Insn, Src, VrpProgram};
 
 use crate::frame::*;
 
@@ -65,7 +65,7 @@ fn emit_csum_patch(a: &mut Asm, hc: u8, old: u8, new: u8, tmp: u8, mask: u8) {
 /// a SYN attack". State: one counter word.
 ///
 /// Paper: 4 SRAM bytes, 5 register ops.
-pub fn syn_monitor() -> VrpProgram {
+pub fn syn_monitor() -> Result<VrpProgram, AsmError> {
     let mut a = Asm::new("syn-monitor");
     let end = a.new_label();
     a.ldb(0, TCP_FLAGS);
@@ -76,7 +76,7 @@ pub fn syn_monitor() -> VrpProgram {
     a.sram_wr(0, 2);
     a.bind(end);
     a.done();
-    a.finish(4).expect("valid program")
+    a.finish(4)
 }
 
 /// ACK Monitor: "watches a TCP connection for repeat ACKs in an effort
@@ -84,7 +84,7 @@ pub fn syn_monitor() -> VrpProgram {
 /// duplicate counter, and a total counter (12 bytes).
 ///
 /// Paper: 12 SRAM bytes, 15 register ops.
-pub fn ack_monitor() -> VrpProgram {
+pub fn ack_monitor() -> Result<VrpProgram, AsmError> {
     let mut a = Asm::new("ack-monitor");
     let end = a.new_label();
     let fresh = a.new_label();
@@ -109,14 +109,14 @@ pub fn ack_monitor() -> VrpProgram {
     a.sram_wr(8, 6);
     a.bind(end);
     a.done();
-    a.finish(12).expect("valid program")
+    a.finish(12)
 }
 
 /// Port Filter: "drops packets addressed to a set of up to five port
 /// ranges". State: five `(lo << 16) | hi` range words (20 bytes).
 ///
 /// Paper: 20 SRAM bytes, 26 register ops.
-pub fn port_filter() -> VrpProgram {
+pub fn port_filter() -> Result<VrpProgram, AsmError> {
     let mut a = Asm::new("port-filter");
     let end = a.new_label();
     let drop = a.new_label();
@@ -136,7 +136,7 @@ pub fn port_filter() -> VrpProgram {
     a.drop();
     a.bind(end);
     a.done();
-    a.finish(20).expect("valid program")
+    a.finish(20)
 }
 
 /// Wavelet Dropper: forwards low-frequency video layers and drops
@@ -144,7 +144,7 @@ pub fn port_filter() -> VrpProgram {
 /// cutoff layer and forwarded-packet counter (8 bytes).
 ///
 /// Paper: 8 SRAM bytes, 28 register ops.
-pub fn wavelet_dropper() -> VrpProgram {
+pub fn wavelet_dropper() -> Result<VrpProgram, AsmError> {
     let mut a = Asm::new("wavelet-dropper");
     let end = a.new_label();
     let drop = a.new_label();
@@ -180,7 +180,7 @@ pub fn wavelet_dropper() -> VrpProgram {
     a.drop();
     a.bind(end);
     a.done();
-    a.finish(8).expect("valid program")
+    a.finish(8)
 }
 
 /// TCP Splicer: applies the per-flow sequence/acknowledgment deltas and
@@ -190,7 +190,7 @@ pub fn wavelet_dropper() -> VrpProgram {
 /// packet counter, enable flag.
 ///
 /// Paper: 24 SRAM bytes, 45 register ops.
-pub fn tcp_splicer() -> VrpProgram {
+pub fn tcp_splicer() -> Result<VrpProgram, AsmError> {
     let mut a = Asm::new("tcp-splicer");
     let end = a.new_label();
     a.ldb(0, IP_PROTO);
@@ -238,7 +238,7 @@ pub fn tcp_splicer() -> VrpProgram {
     a.sram_wr(16, 6);
     a.bind(end);
     a.done();
-    a.finish(24).expect("valid program")
+    a.finish(24)
 }
 
 /// Adds the `~old + new` checksum terms for the 32-bit word pair in
@@ -264,7 +264,7 @@ fn emit_word_terms(a: &mut Asm) {
 /// dst MAC (words 0-1 high), src MAC (words 1-2), output queue, MTU.
 ///
 /// Paper: 24 SRAM bytes, 32 register ops.
-pub fn ip_minimal() -> VrpProgram {
+pub fn ip_minimal() -> Result<VrpProgram, AsmError> {
     let mut a = Asm::new("ip-minimal");
     let tosa = a.new_label();
     a.ldb(0, IP_TTL);
@@ -298,14 +298,14 @@ pub fn ip_minimal() -> VrpProgram {
     a.done();
     a.bind(tosa);
     a.to_sa();
-    a.finish(24).expect("valid program")
+    a.finish(24)
 }
 
 /// Packet tagger ("packet tagging" from the paper's service list,
 /// section 4.4): stamps the IP DSCP field with a configured codepoint
 /// for flows matched by the classifier, patching the header checksum
 /// incrementally. State: one word holding the DSCP (low 6 bits).
-pub fn dscp_tagger() -> VrpProgram {
+pub fn dscp_tagger() -> Result<VrpProgram, AsmError> {
     let mut a = Asm::new("dscp-tagger");
     a.imm(7, 0xffff);
     // Old ToS word (bytes 14-15: version/IHL + DSCP byte).
@@ -318,20 +318,22 @@ pub fn dscp_tagger() -> VrpProgram {
     emit_csum_patch(&mut a, 5, 3, 4, 6, 7);
     a.sth(IP_CSUM, 5);
     a.done();
-    a.finish(4).expect("valid program")
+    a.finish(4)
 }
 
-/// All six Table 5 rows with paper-vs-ours metrics.
-pub fn table5() -> Vec<Table5Row> {
+/// All six Table 5 rows with paper-vs-ours metrics. Assembly failures
+/// propagate as admission errors rather than aborting the caller.
+pub fn table5() -> Result<Vec<Table5Row>, AsmError> {
     let rows: Vec<(&'static str, u32, u32, VrpProgram)> = vec![
-        ("TCP Splicer", 24, 45, tcp_splicer()),
-        ("Wavelet Dropper", 8, 28, wavelet_dropper()),
-        ("ACK Monitor", 12, 15, ack_monitor()),
-        ("SYN Monitor", 4, 5, syn_monitor()),
-        ("Port Filter", 20, 26, port_filter()),
-        ("IP--", 24, 32, ip_minimal()),
+        ("TCP Splicer", 24, 45, tcp_splicer()?),
+        ("Wavelet Dropper", 8, 28, wavelet_dropper()?),
+        ("ACK Monitor", 12, 15, ack_monitor()?),
+        ("SYN Monitor", 4, 5, syn_monitor()?),
+        ("Port Filter", 20, 26, port_filter()?),
+        ("IP--", 24, 32, ip_minimal()?),
     ];
-    rows.into_iter()
+    Ok(rows
+        .into_iter()
         .map(|(name, pb, pr, prog)| {
             let (sram_bytes, reg_ops) = metrics(&prog);
             Table5Row {
@@ -343,7 +345,7 @@ pub fn table5() -> Vec<Table5Row> {
                 reg_ops,
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -388,7 +390,7 @@ mod tests {
 
     #[test]
     fn syn_monitor_counts_only_syns() {
-        let p = syn_monitor();
+        let p = syn_monitor().unwrap();
         let mut state = [0u8; 4];
         let mut syn = mp(6, 0x02, 80, 0);
         let mut ack = mp(6, 0x10, 80, 0);
@@ -400,7 +402,7 @@ mod tests {
 
     #[test]
     fn ack_monitor_distinguishes_dup_acks() {
-        let p = ack_monitor();
+        let p = ack_monitor().unwrap();
         let mut state = [0u8; 12];
         let mut pkt = mp(6, 0x10, 80, 0);
         run(&p, &mut pkt, &mut state).unwrap(); // New.
@@ -417,7 +419,7 @@ mod tests {
 
     #[test]
     fn port_filter_drops_configured_ranges() {
-        let p = port_filter();
+        let p = port_filter().unwrap();
         let mut state = [0u8; 20];
         // Range 0: 6000..=6999. Range 1: 80..=80.
         state[0..4].copy_from_slice(&((6000u32 << 16) | 6999).to_be_bytes());
@@ -434,7 +436,7 @@ mod tests {
 
     #[test]
     fn wavelet_dropper_honors_cutoff() {
-        let p = wavelet_dropper();
+        let p = wavelet_dropper().unwrap();
         let mut state = [0u8; 8];
         // Stream 1, cutoff layer 2.
         state[0..4].copy_from_slice(&((1u32 << 16) | 2).to_be_bytes());
@@ -456,7 +458,7 @@ mod tests {
 
     #[test]
     fn splicer_patches_seq_ack_ports_and_checksum() {
-        let p = tcp_splicer();
+        let p = tcp_splicer().unwrap();
         let mut state = [0u8; 24];
         let seq_d: u32 = 1000;
         let ack_d: u32 = 0u32.wrapping_sub(500);
@@ -501,7 +503,7 @@ mod tests {
 
     #[test]
     fn splicer_disabled_is_inert() {
-        let p = tcp_splicer();
+        let p = tcp_splicer().unwrap();
         let mut state = [0u8; 24];
         let mut pkt = mp(6, 0x10, 80, 0);
         let before = pkt;
@@ -511,7 +513,7 @@ mod tests {
 
     #[test]
     fn ip_minimal_decrements_ttl_and_rewrites_macs() {
-        let p = ip_minimal();
+        let p = ip_minimal().unwrap();
         let mut state = [0u8; 24];
         state[0..6].copy_from_slice(&[0xaa; 6]); // dst MAC.
         state[6..12].copy_from_slice(&[0xbb; 6]); // src MAC.
@@ -533,7 +535,7 @@ mod tests {
 
     #[test]
     fn ip_minimal_escalates_expiring_ttl_and_oversize() {
-        let p = ip_minimal();
+        let p = ip_minimal().unwrap();
         let mut state = [0u8; 24];
         state[20..24].copy_from_slice(&1500u32.to_be_bytes());
         let mut pkt = mp(6, 0, 80, 0);
@@ -551,7 +553,7 @@ mod tests {
 
     #[test]
     fn dscp_tagger_stamps_and_keeps_checksum_valid() {
-        let p = dscp_tagger();
+        let p = dscp_tagger().unwrap();
         let mut state = [0u8; 4];
         state[3] = 0x2E; // EF.
         let mut pkt = mp(17, 0, 5004, 0);
@@ -562,7 +564,7 @@ mod tests {
 
     #[test]
     fn metrics_are_close_to_table5() {
-        for row in table5() {
+        for row in table5().unwrap() {
             let cost = analyze(&row.prog).unwrap();
             assert!(
                 row.sram_bytes == row.paper_sram_bytes,

@@ -53,11 +53,15 @@ pub enum FaultClass {
     /// A PCI transaction fails and is retried after a backoff, wasting
     /// bus time but losing no packets.
     PciError,
+    /// The StrongARM wedges inside a job: the job it just started hangs
+    /// for a drawn window (a stuck kernel path on the real part) and
+    /// the core makes no progress until the watchdog resets it.
+    SaWedge,
 }
 
 /// All classes, in a fixed order (indexing order of the per-class
 /// state arrays).
-pub const FAULT_CLASSES: [FaultClass; 7] = [
+pub const FAULT_CLASSES: [FaultClass; 8] = [
     FaultClass::MemStall,
     FaultClass::DmaSlow,
     FaultClass::TokenDrop,
@@ -65,6 +69,7 @@ pub const FAULT_CLASSES: [FaultClass; 7] = [
     FaultClass::PortFlap,
     FaultClass::MpCorrupt,
     FaultClass::PciError,
+    FaultClass::SaWedge,
 ];
 
 impl FaultClass {
@@ -77,6 +82,7 @@ impl FaultClass {
             FaultClass::PortFlap => 4,
             FaultClass::MpCorrupt => 5,
             FaultClass::PciError => 6,
+            FaultClass::SaWedge => 7,
         }
     }
 
@@ -91,6 +97,7 @@ impl FaultClass {
             0x8536_55F7_1F8B_9B1B,
             0x5851_F42D_4C95_7F2D,
             0x6A09_E667_F3BC_C909,
+            0xBB67_AE85_84CA_A73B,
         ][self.index()]
     }
 }

@@ -28,8 +28,8 @@ pub mod interp;
 pub mod isa;
 pub mod verify;
 
-pub use asm::Asm;
+pub use asm::{Asm, AsmError};
 pub use disasm::{disasm, disasm_insn};
 pub use interp::{run, RunError, RunResult, VrpAction};
 pub use isa::{AluOp, Cond, Insn, Src, VrpProgram, NUM_GPRS};
-pub use verify::{analyze, verify, VerifyError, VrpBudget, VrpCost};
+pub use verify::{analyze, runtime_overrun, verify, VerifyError, VrpBudget, VrpCost};

@@ -43,6 +43,17 @@ impl Default for VrpBudget {
     }
 }
 
+/// Runtime-overrun hook (paper, section 4.6): MicroEngine programs are
+/// bounded *statically* by [`verify`], but StrongARM and Pentium
+/// forwarders only *declare* a per-packet cost at admission and are
+/// policed dynamically. The health monitor feeds measured per-packet
+/// cycle averages through this predicate; `true` means the forwarder is
+/// running past `slack` times its declared budget and should start
+/// climbing the escalation ladder.
+pub fn runtime_overrun(declared_cycles: u64, measured_avg_cycles: f64, slack: f64) -> bool {
+    declared_cycles > 0 && measured_avg_cycles > declared_cycles as f64 * slack.max(1.0)
+}
+
 /// Static worst-case cost of a verified program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct VrpCost {

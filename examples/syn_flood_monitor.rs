@@ -23,7 +23,7 @@ fn main() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: syn_monitor(),
+                prog: syn_monitor().expect("builtin assembles"),
             },
             None,
         )
@@ -70,7 +70,7 @@ fn main() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: port_filter(),
+                prog: port_filter().expect("builtin assembles"),
             },
             None,
         )

@@ -27,7 +27,7 @@ fn main() {
         .install(
             Key::Flow(key),
             InstallRequest::Me {
-                prog: tcp_splicer(),
+                prog: tcp_splicer().expect("builtin assembles"),
             },
             Some(1), // Bound to output port 1.
         )

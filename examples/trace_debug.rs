@@ -13,7 +13,7 @@ use npr_vrp::disasm;
 
 fn main() {
     // 1. Inspect the forwarder the way admission control does.
-    let prog = ip_minimal();
+    let prog = ip_minimal().expect("builtin assembles");
     println!("{}", disasm(&prog));
 
     // 2. Install it and bind its route entry (MACs, queue, MTU).

@@ -39,7 +39,7 @@ fn main() {
         .install(
             Key::All,
             InstallRequest::Me {
-                prog: wavelet_dropper(),
+                prog: wavelet_dropper().expect("builtin assembles"),
             },
             None,
         )

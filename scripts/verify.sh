@@ -62,6 +62,22 @@ if ! echo "$fault_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
     exit 1
 fi
 
+# Chaos-soak gate: one long seeded run with every fault class armed at
+# once; conservation must hold, no StrongARM stall may outlive the
+# health watchdog's detection bound, and the whole run is capped on
+# wall clock. Run in release so the full 20 ms horizon executes, and
+# fail if it ran zero tests.
+soak_out="$(cargo test -q --release --offline -p npr-core --test soak 2>&1)" || {
+    echo "$soak_out"
+    echo "ERROR: chaos-soak gate failed" >&2
+    exit 1
+}
+echo "$soak_out"
+if ! echo "$soak_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+    echo "ERROR: chaos-soak gate ran zero tests" >&2
+    exit 1
+fi
+
 # Record the graceful-degradation curves (Mpps vs fault rate per
 # injector class; seed-fixed, so the file is reproducible).
 cargo run --release --offline -p npr-bench --bin experiments -- faults --out BENCH_faults.json
@@ -69,6 +85,15 @@ cargo run --release --offline -p npr-bench --bin experiments -- faults --out BEN
 # Record the control-storm result: install/route-update churn must
 # leave fast-path Mpps within noise of the no-churn baseline.
 cargo run --release --offline -p npr-bench --bin experiments -- control --out BENCH_control.json
+
+# Record the recovery episodes: for each fault class the health monitor
+# must detect, recover, and return throughput to within 1% of the
+# fault-free baseline. The JSON must exist and be non-empty.
+cargo run --release --offline -p npr-bench --bin experiments -- recovery --out BENCH_recovery.json
+if [ ! -s BENCH_recovery.json ]; then
+    echo "ERROR: BENCH_recovery.json missing or empty" >&2
+    exit 1
+fi
 
 
 # Hermetic-build gate: the dependency graph may contain only workspace
