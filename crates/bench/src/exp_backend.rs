@@ -1,0 +1,300 @@
+//! Backend axis: host wall-clock of the two VRP execution tiers.
+//!
+//! The compiled tier is required to be *simulated-time invisible* — the
+//! differential suites (`crates/vrp/tests/differential.rs`,
+//! `crates/core/tests/backend_differential.rs`) pin bit-identical
+//! results, cycles, and digests — so its entire payoff is host time.
+//! Two measurements:
+//!
+//! 1. [`exec_pps`]: service-corpus executor throughput. The builtin
+//!    forwarder corpus ([`npr_forwarders::corpus`]) runs over a fixed
+//!    matrix of message pages; the reported number is MP-executions per
+//!    wall-clock second. These programs are branchy classifiers — most
+//!    packets exit after a short parse — so this is the *lower* bound
+//!    on the compiled tier's payoff.
+//! 2. [`heavy_pps`]: the forwarder-heavy shape of the paper's Figure
+//!    9/10 budget sweeps — pad forwarders (ten-register-op blocks, SRAM
+//!    blocks, combo blocks) at escalating block counts, exactly the
+//!    programs the robustness experiments load the MicroEngines with.
+//!    Here the interpreter's per-instruction decode/dispatch/bounds
+//!    work is fully exposed, and this is the axis the ≥ 2x acceptance
+//!    bar is measured on.
+//! 3. [`router_wall_ms`]: the full router with the section 4.4 service
+//!    suite installed and all eight ports flooded, wall milliseconds
+//!    per run. The VRP share of the total event-loop work bounds the
+//!    visible gain here; it is recorded as the honest end-to-end view.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use npr_core::{Router, RouterConfig};
+use npr_forwarders::{pad_program, PadKind};
+use npr_sim::Time;
+use npr_vrp::{Executable, VrpBackend};
+
+/// Results of one sweep over both backends.
+#[derive(Debug, Clone)]
+pub struct BackendAxis {
+    /// MP-executions per iteration of the corpus loop.
+    pub execs_per_iter: u64,
+    /// Corpus-loop iterations measured per backend.
+    pub iters: u64,
+    /// Service-corpus executor throughput, interpreter
+    /// (MP-executions/sec).
+    pub interp_pps: f64,
+    /// Service-corpus executor throughput, compiled chain
+    /// (MP-executions/sec).
+    pub compiled_pps: f64,
+    /// `compiled_pps / interp_pps`.
+    pub speedup: f64,
+    /// One entry per Figure 9 pad series (reg10, sram_read, combo).
+    pub heavy: Vec<HeavySeries>,
+    /// The combination-block series' speedup — the headline
+    /// forwarder-heavy number (see [`heavy_pps`] for why).
+    pub heavy_speedup: f64,
+    /// Full-router service-suite run, interpreter (wall ms).
+    pub router_interp_ms: f64,
+    /// Full-router service-suite run, compiled chain (wall ms).
+    pub router_compiled_ms: f64,
+    /// `router_interp_ms / router_compiled_ms`.
+    pub router_speedup: f64,
+}
+
+/// Deterministic MP matrix covering the corpus programs' real parse
+/// paths: TCP SYN/ACK shapes for the monitors and splicer, UDP port
+/// 5004 for the wavelet dropper, MPLS labels for the switcher, plus
+/// pseudo-random garbage for the early-exit paths.
+fn mp_matrix() -> Vec<[u8; 64]> {
+    let mut out = Vec::new();
+    for (proto, flags, dport, payload0) in [
+        (6u8, 0x02u8, 80u16, 0u8),
+        (6, 0x10, 8080, 0),
+        (6, 0x12, 443, 0),
+        (17, 0x00, 5004, 0x11),
+        (17, 0x00, 5004, 0x15),
+    ] {
+        let mut b = [0u8; 64];
+        b[12] = 0x08; // IPv4 EtherType.
+        b[14] = 0x45;
+        b[16..18].copy_from_slice(&46u16.to_be_bytes());
+        b[22] = 64; // TTL.
+        b[23] = proto;
+        b[26..30].copy_from_slice(&0x0a00_0001u32.to_be_bytes());
+        b[30..34].copy_from_slice(&0x0a00_0002u32.to_be_bytes());
+        b[34..36].copy_from_slice(&1234u16.to_be_bytes());
+        b[36..38].copy_from_slice(&dport.to_be_bytes());
+        b[47] = flags;
+        b[42] = payload0;
+        out.push(b);
+    }
+    // One MPLS frame (label 42, TTL 64) and one garbage page.
+    let mut m = [0u8; 64];
+    m[12..14].copy_from_slice(&0x8847u16.to_be_bytes());
+    m[14..18].copy_from_slice(&(((42u32) << 12) | (3 << 9) | (1 << 8) | 64).to_be_bytes());
+    out.push(m);
+    let mut g = [0u8; 64];
+    let mut x = 0x5DEE_CE66_D1CEu64 | 1;
+    for b in g.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = x as u8;
+    }
+    out.push(g);
+    out
+}
+
+/// Pure executor throughput for one backend: every corpus program runs
+/// every matrix MP per iteration, with live flow state carried across
+/// iterations (monitors count, tables hit) so the hot paths stay data-
+/// dependent the way they are inside the router.
+pub fn exec_pps(backend: VrpBackend, iters: u64) -> (f64, u64) {
+    let execs = npr_forwarders::corpus(backend).expect("builtin corpus assembles");
+    let mps = mp_matrix();
+    let mut states: Vec<Vec<u8>> = execs
+        .iter()
+        .map(|e| {
+            let mut st = vec![0u8; usize::from(e.prog().state_bytes)];
+            for (k, b) in st.iter_mut().enumerate() {
+                *b = (k as u8).wrapping_mul(0x1D) ^ 0x40;
+            }
+            st
+        })
+        .collect();
+    let per_iter = (execs.len() * mps.len()) as u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for (e, st) in execs.iter().zip(states.iter_mut()) {
+            for mp0 in &mps {
+                let mut mp = *mp0;
+                black_box(e.run(&mut mp, st).ok());
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    ((iters * per_iter) as f64 / dt, per_iter)
+}
+
+/// One Figure 9 pad series measured on both tiers.
+#[derive(Debug, Clone)]
+pub struct HeavySeries {
+    /// Series name: `reg10`, `sram_read`, or `combo`.
+    pub kind: &'static str,
+    /// VRP instructions retired per iteration over the series.
+    pub insns_per_iter: u64,
+    /// Interpreter throughput (VRP instructions/sec).
+    pub interp_ips: f64,
+    /// Compiled-tier throughput (VRP instructions/sec).
+    pub compiled_ips: f64,
+    /// `compiled_ips / interp_ips`.
+    pub speedup: f64,
+}
+
+/// Forwarder-heavy executor throughput for one backend and one pad
+/// kind: the Figure 9/10 pad forwarders (the synthetic blocks the
+/// paper's budget sweeps install) at escalating block counts, reported
+/// as VRP instructions retired per wall-clock second. Straight-line
+/// and branch-free by construction, these are the programs where
+/// per-packet forwarder cost — not parse-and-exit classification —
+/// dominates.
+///
+/// The three kinds gain very differently, and honestly so: the
+/// register-file chain costs ~5 host cycles per hop on *both* tiers
+/// (a dynamically indexed register file lives in stack memory), so
+/// the compiled tier's win is the decode/dispatch/bounds overhead it
+/// sheds, which is largest for ALU-dense code (`reg10`, `combo`) and
+/// smallest for `sram_read` (one op per block — the interpreter's
+/// per-op overhead is already low). The *combination* block — the
+/// paper's "both" series, and the shape of every real Table 5
+/// forwarder (parse + state + arithmetic) — is the headline series.
+pub fn heavy_pps(backend: VrpBackend, kind: PadKind, iters: u64) -> (f64, u64) {
+    let mut execs: Vec<Executable> = Vec::new();
+    let mut insns_per_iter = 0u64;
+    for blocks in [8u32, 32, 128] {
+        let prog = pad_program(kind, blocks);
+        insns_per_iter += prog.insns.len() as u64;
+        execs.push(Executable::new(prog, backend));
+    }
+    let mut states: Vec<Vec<u8>> = execs
+        .iter()
+        .map(|e| vec![0x5Au8; usize::from(e.prog().state_bytes)])
+        .collect();
+    let mut mp = [0u8; 64];
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for (e, st) in execs.iter().zip(states.iter_mut()) {
+            black_box(e.run(&mut mp, st).ok());
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    ((iters * insns_per_iter) as f64 / dt, insns_per_iter)
+}
+
+/// Full-router wall-clock for one backend: the section 4.4 service
+/// suite over an 8-port 95% flood — every packet runs three installed
+/// VRP programs plus the default IP path.
+pub fn router_wall_ms(backend: VrpBackend, warmup: Time, window: Time) -> f64 {
+    let ctl = npr_core::FlowKey {
+        src: u32::from_be_bytes([10, 0, 0, 9]),
+        dst: u32::from_be_bytes([10, 1, 0, 1]),
+        sport: 2600,
+        dport: 89,
+    };
+    let mut cfg = RouterConfig::line_rate();
+    cfg.vrp_backend = backend;
+    let mut r = Router::new(cfg);
+    for (key, req) in npr_forwarders::service_suite(ctl).expect("suite assembles") {
+        r.install(key, req, None).expect("suite admitted");
+    }
+    for p in 0..8 {
+        r.attach_cbr(p, 0.95, u64::MAX, ((p + 1) % 8) as u8);
+    }
+    let t0 = Instant::now();
+    let rep = r.measure(warmup, window);
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(rep.forward_mpps > 0.1, "flood stalled: {rep:?}");
+    wall
+}
+
+/// Runs the whole axis: pure execution on both tiers, then the full
+/// router on both tiers. `iters` scales the pure-execution loop.
+pub fn backend_axis(iters: u64, warmup: Time, window: Time) -> BackendAxis {
+    let (interp_pps, execs_per_iter) = exec_pps(VrpBackend::Interp, iters);
+    let (compiled_pps, _) = exec_pps(VrpBackend::Compiled, iters);
+    // Heavy programs retire ~50x more instructions per corpus pass;
+    // scale the iteration count down to keep runtimes comparable (the
+    // divisor is kept small enough that the measurement window stays
+    // tens of milliseconds per tier — single-digit-ms windows were
+    // noisy enough to wobble the recorded speedup).
+    let heavy_iters = (iters / 4).max(2);
+    let mut heavy = Vec::new();
+    for (name, kind) in [
+        ("reg10", PadKind::Reg10),
+        ("sram_read", PadKind::SramRead),
+        ("combo", PadKind::Combo),
+    ] {
+        // Three alternating rounds per tier, fastest-observed rate per
+        // tier: interleaving spreads clock drift (thermal/frequency)
+        // over both tiers instead of whichever ran second, and the max
+        // estimator discards rounds that caught unrelated interference
+        // — the usual microbenchmark discipline.
+        let mut interp_ips = 0.0f64;
+        let mut compiled_ips = 0.0f64;
+        let mut insns_per_iter = 0;
+        for _ in 0..3 {
+            let (i, per) = heavy_pps(VrpBackend::Interp, kind, heavy_iters / 2);
+            let (c, _) = heavy_pps(VrpBackend::Compiled, kind, heavy_iters / 2);
+            interp_ips = interp_ips.max(i);
+            compiled_ips = compiled_ips.max(c);
+            insns_per_iter = per;
+        }
+        heavy.push(HeavySeries {
+            kind: name,
+            insns_per_iter,
+            interp_ips,
+            compiled_ips,
+            speedup: compiled_ips / interp_ips,
+        });
+    }
+    let heavy_speedup = heavy.last().expect("three series").speedup;
+    let router_interp_ms = router_wall_ms(VrpBackend::Interp, warmup, window);
+    let router_compiled_ms = router_wall_ms(VrpBackend::Compiled, warmup, window);
+    BackendAxis {
+        execs_per_iter,
+        iters,
+        interp_pps,
+        compiled_pps,
+        speedup: compiled_pps / interp_pps,
+        heavy,
+        heavy_speedup,
+        router_interp_ms,
+        router_compiled_ms,
+        router_speedup: router_interp_ms / router_compiled_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_runs_and_reports_sane_numbers() {
+        let axis = backend_axis(20, npr_core::us(100), npr_core::us(300));
+        assert_eq!(axis.execs_per_iter, 8 * 7);
+        assert!(axis.interp_pps > 0.0);
+        assert!(axis.compiled_pps > 0.0);
+        // Per series: (8 + 32 + 128) blocks of 10 / 1 / 11 insns,
+        // plus one Done per program (3 programs per series).
+        assert_eq!(axis.heavy.len(), 3);
+        assert_eq!(axis.heavy[0].insns_per_iter, 168 * 10 + 3);
+        assert_eq!(axis.heavy[1].insns_per_iter, 168 + 3);
+        assert_eq!(axis.heavy[2].insns_per_iter, 168 * 11 + 3);
+        for s in &axis.heavy {
+            assert!(s.interp_ips > 0.0, "{}", s.kind);
+            assert!(s.compiled_ips > 0.0, "{}", s.kind);
+        }
+        assert_eq!(axis.heavy[2].kind, "combo");
+        assert!(axis.router_interp_ms > 0.0);
+        assert!(axis.router_compiled_ms > 0.0);
+    }
+}

@@ -12,6 +12,7 @@
 //! ```
 
 pub mod exp_ablations;
+pub mod exp_backend;
 pub mod exp_baseline;
 pub mod exp_control;
 pub mod exp_faults;
@@ -21,6 +22,7 @@ pub mod exp_robustness;
 pub mod exp_tables;
 pub mod fmt;
 
+pub use exp_backend::{backend_axis, BackendAxis};
 pub use exp_baseline::{baseline, BaselineResult};
 pub use exp_control::{control_json, control_storm, ControlResult};
 pub use exp_faults::{curves_json, fault_curve, fault_curves, FaultCurve, DEGRADE_RATES};

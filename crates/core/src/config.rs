@@ -122,6 +122,15 @@ pub struct RouterConfig {
     /// Check the conservation ledger each epoch. Off by default: the
     /// ledger is only meaningful on runs that never call `mark()`.
     pub health_check_conservation: bool,
+    /// Execution tier for installed ME bytecode. `Compiled` (default)
+    /// lowers each forwarder at admission time into npr-vrp's
+    /// direct-threaded chain; `Interp` keeps the reference interpreter.
+    /// The tiers are bit-identical in simulated behavior (gated by the
+    /// backend differential suite), so this knob only moves host
+    /// wall-clock. Programs that fail verification — e.g. ISTORE
+    /// bit-rot injected by tests — always fall back to the interpreter,
+    /// which is what surfaces their traps.
+    pub vrp_backend: npr_vrp::VrpBackend,
 }
 
 impl Default for RouterConfig {
@@ -164,6 +173,7 @@ impl Default for RouterConfig {
             health_overrun_factor: 1.5,
             health_trap_threshold: 8,
             health_check_conservation: false,
+            vrp_backend: npr_vrp::VrpBackend::Compiled,
         }
     }
 }

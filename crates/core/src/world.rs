@@ -63,13 +63,24 @@ pub struct PktMeta {
     pub arrival: Time,
 }
 
-/// A MicroEngine-installed forwarder: verified bytecode.
+/// A MicroEngine-installed forwarder: verified bytecode, lowered for
+/// the configured execution backend at admission time.
 #[derive(Debug)]
 pub struct MeForwarder {
-    /// The program.
-    pub prog: VrpProgram,
+    /// The program plus its compiled form (when the backend knob asked
+    /// for one and the program verified). Both tiers are bit-identical
+    /// in simulated behavior; unverifiable programs — ISTORE bit-rot —
+    /// run through the interpreter and surface their traps as before.
+    pub exec: npr_vrp::Executable,
     /// Its verified static cost.
     pub cost: VrpCost,
+}
+
+impl MeForwarder {
+    /// The installed program.
+    pub fn prog(&self) -> &VrpProgram {
+        self.exec.prog()
+    }
 }
 
 /// Destination of an escalated packet.

@@ -17,6 +17,7 @@
 use npr_core::{ms, us, FlowKey, Key, Router, RouterConfig};
 use npr_forwarders::slow::route_updater_pe;
 use npr_traffic::{udp_frame, CbrSource, FrameSpec, MixSource, TraceSource};
+use npr_vrp::VrpBackend;
 
 /// FNV-1a, 64-bit: digests must be stable across runs, processes, and
 /// build profiles, so only integers and fixed strings are fed in.
@@ -40,9 +41,13 @@ impl Digest {
 /// The scaled-down `robust_router` scenario: flood on seven ports, a
 /// traced control stream installing routes via the Pentium on the
 /// eighth. Returns the digest over every deterministic observable.
-fn run_scenario() -> u64 {
+/// Parameterized by the VRP execution backend, which must never move
+/// the digest — the tiers are required to be bit-identical in
+/// simulated behavior.
+fn run_scenario(backend: VrpBackend) -> u64 {
     let mut cfg = RouterConfig::line_rate();
     cfg.divert_sa_permille = 333;
+    cfg.vrp_backend = backend;
     let mut router = Router::new(cfg);
 
     let ctl_key = FlowKey {
@@ -175,8 +180,8 @@ const GOLDEN_DIGEST: u64 = 0x4D47_0BA7_B68A_1105;
 
 #[test]
 fn robust_router_scenario_is_bit_identical_across_runs() {
-    let a = run_scenario();
-    let b = run_scenario();
+    let a = run_scenario(VrpBackend::Compiled);
+    let b = run_scenario(VrpBackend::Compiled);
     assert_eq!(
         a, b,
         "two identical runs diverged: the scheduler is nondeterministic"
@@ -185,10 +190,21 @@ fn robust_router_scenario_is_bit_identical_across_runs() {
 
 #[test]
 fn robust_router_scenario_matches_pinned_digest() {
-    let got = run_scenario();
+    let got = run_scenario(VrpBackend::Compiled);
     assert_eq!(
         got, GOLDEN_DIGEST,
         "schedule changed: digest {got:#018X} != pinned {GOLDEN_DIGEST:#018X} \
          (see module docs before re-pinning)"
+    );
+}
+
+#[test]
+fn interpreter_backend_matches_the_same_pinned_digest() {
+    // The backend knob must be invisible to the simulated schedule:
+    // both execution tiers reproduce the same golden digest.
+    let got = run_scenario(VrpBackend::Interp);
+    assert_eq!(
+        got, GOLDEN_DIGEST,
+        "interpreter backend moved the schedule: {got:#018X}"
     );
 }

@@ -3,9 +3,10 @@
 //! of the Table 5 services.
 
 use npr_core::pe::PeAction;
-use npr_core::InstallRequest;
+use npr_core::{FlowKey, InstallRequest, Key};
 use npr_packet::{Ipv4Header, MacAddr};
 use npr_route::NextHop;
+use npr_vrp::AsmError;
 
 /// Cycle cost of full IP (options processing) on the StrongARM/Pentium:
 /// "we have measured more complicated forwarders such as TCP proxies
@@ -111,6 +112,41 @@ pub fn wavelet_controller_pe(expected_pps: u64) -> InstallRequest {
     }
 }
 
+/// Builds the section 4.4 service suite as `(key, request)` install
+/// pairs: the Table 5 data halves as general MicroEngine forwarders,
+/// paired with their Pentium control halves bound to the `ctl` flow.
+///
+/// The ME halves are plain bytecode here; the *router* lowers them at
+/// admission for whichever execution tier `RouterConfig::vrp_backend`
+/// selects (interpreter or compiled chain), so this one suite is the
+/// forwarder-heavy shape the benchmark's backend axis measures — every
+/// data packet runs three real VRP programs end to end, while the
+/// control halves stay on the Pentium regardless of the knob.
+pub fn service_suite(ctl: FlowKey) -> Result<Vec<(Key, InstallRequest)>, AsmError> {
+    Ok(vec![
+        (
+            Key::All,
+            InstallRequest::Me {
+                prog: crate::table5::syn_monitor()?,
+            },
+        ),
+        (
+            Key::All,
+            InstallRequest::Me {
+                prog: crate::table5::wavelet_dropper()?,
+            },
+        ),
+        (
+            Key::All,
+            InstallRequest::Me {
+                prog: crate::table5::dscp_tagger()?,
+            },
+        ),
+        (Key::Flow(ctl), monitor_control_pe(1_000)),
+        (Key::Flow(ctl), wavelet_controller_pe(1_000)),
+    ])
+}
+
 /// Builds the ICMP responder: the StrongARM exception handler behind
 /// the fast path's TTL/options escalation. TTL-expired packets are
 /// answered with Time Exceeded back out their ingress port; echo
@@ -184,6 +220,37 @@ mod tests {
         ip.write(&mut frame[14..]);
         let mut meta = PktMeta::default();
         assert!(!f(&mut frame, &mut meta));
+    }
+
+    #[test]
+    fn service_suite_installs_cleanly_on_both_tiers() {
+        use npr_vrp::VrpBackend;
+        let ctl = FlowKey {
+            src: 0x0a00_0009,
+            dst: 0x0a01_0001,
+            sport: 2600,
+            dport: 89,
+        };
+        for backend in [VrpBackend::Interp, VrpBackend::Compiled] {
+            let mut cfg = npr_core::RouterConfig::line_rate();
+            cfg.vrp_backend = backend;
+            let mut r = npr_core::Router::new(cfg);
+            for (key, req) in service_suite(ctl).expect("suite assembles") {
+                r.install(key, req, None).expect("suite admitted");
+            }
+            assert_eq!(r.installed().len(), 5);
+            // Admission lowered each ME data half for the configured
+            // tier; the Pentium control halves are untouched by it.
+            assert_eq!(r.world.me_forwarders.len(), 3);
+            for f in &r.world.me_forwarders {
+                assert_eq!(
+                    f.exec.is_compiled(),
+                    backend == VrpBackend::Compiled,
+                    "{} on the wrong tier",
+                    f.prog().name
+                );
+            }
+        }
     }
 
     #[test]

@@ -563,6 +563,44 @@ mod tests {
     }
 
     #[test]
+    fn every_row_runs_identically_on_both_tiers() {
+        // The Table 5 packet matrix — the same shapes the semantic
+        // tests above use — swept through interpreter and compiled
+        // chain in lock step. This is deliberately redundant with the
+        // crate-level random sweep: it pins the *meaningful* paths
+        // (SYN counting, dup-ACK detection, port-range drops, wavelet
+        // cutoffs, splicing, TTL escalation) on real header bytes.
+        use npr_vrp::{Executable, VrpBackend};
+        for row in table5().unwrap() {
+            let exec = Executable::new(row.prog.clone(), VrpBackend::Compiled);
+            assert!(exec.is_compiled(), "{} must lower", row.name);
+            let sb = usize::from(row.prog.state_bytes);
+            for proto in [6u8, 17] {
+                for flags in [0x02u8, 0x10, 0x12, 0x00] {
+                    for dport in [80u16, 443, 5004, 6500, 8080] {
+                        for payload0 in [0x11u8, 0x15, 0x25] {
+                            let pkt = mp(proto, flags, dport, payload0);
+                            let (mut mp_i, mut st_i) = (pkt, vec![0u8; sb]);
+                            // Seed state with a recognizable pattern so
+                            // config words (ranges, cutoffs) are nonzero.
+                            for (k, b) in st_i.iter_mut().enumerate() {
+                                *b = (k as u8).wrapping_mul(0x1D) ^ 0x40;
+                            }
+                            let mut mp_c = mp_i;
+                            let mut st_c = st_i.clone();
+                            let ri = run(&row.prog, &mut mp_i, &mut st_i);
+                            let rc = exec.run(&mut mp_c, &mut st_c);
+                            assert_eq!(ri, rc, "{}", row.name);
+                            assert_eq!(mp_i, mp_c, "{}: MP diverged", row.name);
+                            assert_eq!(st_i, st_c, "{}: state diverged", row.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn metrics_are_close_to_table5() {
         for row in table5().unwrap() {
             let cost = analyze(&row.prog).unwrap();

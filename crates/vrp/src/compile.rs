@@ -1,0 +1,692 @@
+//! Compile-on-verify: the VRP's second execution tier.
+//!
+//! The paper's admission-control contract verifies a forwarder once at
+//! install time; there is no reason to keep paying full interpretation
+//! per packet afterwards. Because the ISA is forward-jump-only — no
+//! loops, no back-edges — lowering is a single pass: instructions are
+//! pre-decoded into micro-ops grouped by basic block, branch targets
+//! become block indices, every register/MP/state bounds check the
+//! verifier already discharged is hoisted out of the packet path, and
+//! cost accounting (cycles, SRAM counters, hash counters) is summed
+//! per block at compile time and charged once on block entry instead
+//! of once per instruction.
+//!
+//! The compiled tier is **bit-identical** to the interpreter: same
+//! [`RunResult`] (action, queue override, cycles including
+//! `BRANCH_DELAY_CYCLES`, SRAM and hash counts) and same mutations of
+//! the MP and flow state. The simulated clock and the health monitor's
+//! overrun accounting therefore cannot tell the backends apart — only
+//! host wall-clock changes. The interpreter remains the semantic
+//! oracle; the differential suite (`tests/differential.rs`) holds the
+//! two in lock-step over the shared fuzz corpus.
+//!
+//! [`compile`] refuses unverifiable programs ([`analyze`] runs first),
+//! so a [`CompiledProgram`] can never take a dynamic [`RunError`]:
+//! every run completes with a result. [`Executable`] packages the
+//! policy: compile when the backend knob says so *and* the program
+//! verifies, fall back to the interpreter otherwise — which preserves
+//! exact `RunError` parity for unverified programs (e.g. ISTORE
+//! bit-rot) because those always interpret.
+
+use npr_ixp::hash48;
+
+use crate::interp::{run, RunError, RunResult, VrpAction};
+use crate::isa::{AluOp, Cond, Insn, Src, VrpProgram, NUM_GPRS};
+use crate::verify::{analyze, VerifyError, BRANCH_DELAY_CYCLES};
+
+/// Which execution tier runs VRP bytecode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VrpBackend {
+    /// The reference interpreter (`npr_vrp::run`) — authoritative
+    /// semantics, works on arbitrary (even unverifiable) programs.
+    Interp,
+    /// The compile-on-verify block machine. Requires verification;
+    /// bit-identical results, lower host cost per packet.
+    #[default]
+    Compiled,
+}
+
+impl VrpBackend {
+    /// Stable lower-case name (bench axes, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VrpBackend::Interp => "interp",
+            VrpBackend::Compiled => "compiled",
+        }
+    }
+}
+
+impl core::fmt::Display for VrpBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One pre-decoded straight-line micro-op. Operands are fully resolved
+/// at lowering time: ALU/condition functions are plain `fn` pointers,
+/// `Src` is split into `Reg`/`Imm` variants, and offsets are raw bytes
+/// the verifier already proved in range. No accounting lives here —
+/// dynamic cost is charged per block, not per op.
+/// ALU operations are flattened into one variant per `(op, operand
+/// kind)` pair so the dispatch match compiles to straight inline code —
+/// an `fn` pointer here would cost an unpredictable indirect call per
+/// executed op, which is exactly the overhead this tier exists to shed.
+#[derive(Clone, Copy)]
+enum MicroOp {
+    Imm { dst: u8, val: u32 },
+    Mov { dst: u8, src: u8 },
+    AddR { dst: u8, a: u8, b: u8 },
+    AddI { dst: u8, a: u8, v: u32 },
+    SubR { dst: u8, a: u8, b: u8 },
+    SubI { dst: u8, a: u8, v: u32 },
+    AndR { dst: u8, a: u8, b: u8 },
+    AndI { dst: u8, a: u8, v: u32 },
+    OrR { dst: u8, a: u8, b: u8 },
+    OrI { dst: u8, a: u8, v: u32 },
+    XorR { dst: u8, a: u8, b: u8 },
+    XorI { dst: u8, a: u8, v: u32 },
+    ShlR { dst: u8, a: u8, b: u8 },
+    ShlI { dst: u8, a: u8, v: u32 },
+    ShrR { dst: u8, a: u8, b: u8 },
+    ShrI { dst: u8, a: u8, v: u32 },
+    LdB { dst: u8, off: u8 },
+    LdH { dst: u8, off: u8 },
+    LdW { dst: u8, off: u8 },
+    StB { off: u8, src: u8 },
+    StH { off: u8, src: u8 },
+    StW { off: u8, src: u8 },
+    SramRd { dst: u8, off: u8 },
+    SramWr { off: u8, src: u8 },
+    Hash { dst: u8, src: u8 },
+    SetQueueReg { src: u8 },
+    SetQueueImm { v: u32 },
+}
+
+/// Synthetic block index meaning "past the last instruction": the
+/// zero-cost termination node the verifier's DP calls `dp[n]`.
+const STOP: u32 = u32::MAX;
+
+/// How a basic block hands off control.
+#[derive(Clone, Copy)]
+enum Terminator {
+    /// Fall-through or `Br` (the `Br` cost is folded into the block).
+    Jump { to: u32 },
+    /// `BrCond` against a register. The base cycle is in the block;
+    /// taking the branch adds `BRANCH_DELAY_CYCLES` at run time.
+    /// `Cond::eval` is an inlinable match, not an indirect call.
+    CondReg { cond: Cond, a: u8, b: u8, taken: u32, fall: u32 },
+    /// `BrCond` against an immediate.
+    CondImm { cond: Cond, a: u8, v: u32, taken: u32, fall: u32 },
+    /// `Done`/`Drop`/`ToSa`/`ToPe`, or `Br` past the end.
+    Stop { action: VrpAction },
+}
+
+/// One basic block: a micro-op range plus its statically summed cost.
+#[derive(Clone, Copy)]
+struct Block {
+    lo: u32,
+    hi: u32,
+    cycles: u32,
+    sram_reads: u32,
+    sram_writes: u32,
+    hashes: u32,
+    term: Terminator,
+}
+
+/// A verified program lowered to pre-decoded basic blocks.
+///
+/// Produced by [`compile`]; execution via [`CompiledProgram::run`]
+/// cannot fail (verification proved every access in range and every
+/// path terminated). The caller must supply a flow-state slice of at
+/// least [`CompiledProgram::state_bytes`] bytes — [`Executable`]
+/// enforces this and falls back to the interpreter otherwise.
+pub struct CompiledProgram {
+    name: String,
+    ops: Vec<MicroOp>,
+    blocks: Vec<Block>,
+    state_bytes: u8,
+}
+
+impl core::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("name", &self.name)
+            .field("ops", &self.ops.len())
+            .field("blocks", &self.blocks.len())
+            .field("state_bytes", &self.state_bytes)
+            .finish()
+    }
+}
+
+impl CompiledProgram {
+    /// Program name (same as the source [`VrpProgram`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared flow-state bytes (same as the source program).
+    pub fn state_bytes(&self) -> u8 {
+        self.state_bytes
+    }
+
+    /// Executes the blocks. Bit-identical to `npr_vrp::run` on the
+    /// source program; infallible because the program verified.
+    ///
+    /// `state` must cover at least [`Self::state_bytes`] bytes; that is
+    /// the one precondition the verifier cannot discharge for us (it
+    /// proved every `SramRd`/`SramWr` offset against `state_bytes`, not
+    /// against whatever slice the caller passes), so it is asserted on
+    /// entry. Everything else the hot loop leans on is a static fact:
+    /// the verifier's structural pass rejected any register `>= 8`
+    /// (`BadRegister`), any MP access with `off + width > 64`
+    /// (`MpOutOfRange`), and any state access with `off + 4 >
+    /// state_bytes` (`StateOutOfRange`), and `compile` only emits block
+    /// and op indices it allocated. Those proofs are what let this loop
+    /// drop the per-access bounds checks the interpreter pays for.
+    pub fn run(&self, mp: &mut [u8; 64], state: &mut [u8]) -> RunResult {
+        assert!(
+            state.len() >= usize::from(self.state_bytes),
+            "{}: state slice is {} bytes, program declares {}",
+            self.name,
+            state.len(),
+            self.state_bytes
+        );
+        let mut regs = [0u32; NUM_GPRS];
+        // SAFETY (both macros): the verifier's structural pass rejected
+        // every instruction naming a register >= NUM_GPRS, and lowering
+        // copies register numbers through unchanged.
+        macro_rules! r {
+            ($i:expr) => {
+                unsafe { *regs.get_unchecked(usize::from($i)) }
+            };
+        }
+        macro_rules! w {
+            ($i:expr, $v:expr) => {{
+                let v = $v;
+                unsafe { *regs.get_unchecked_mut(usize::from($i)) = v }
+            }};
+        }
+        let mut res = RunResult {
+            action: VrpAction::Forward,
+            queue_override: None,
+            cycles: 0,
+            sram_reads: 0,
+            sram_writes: 0,
+            hashes: 0,
+        };
+        let mut b = 0u32;
+        // Forward-jump-only ISA: block indices strictly increase, so
+        // this loop runs at most `blocks.len()` iterations.
+        while b != STOP {
+            // SAFETY: every non-STOP block id stored by `compile` (the
+            // entry block, branch targets, fall-throughs) indexes a
+            // block it pushed.
+            let blk = unsafe { self.blocks.get_unchecked(b as usize) };
+            res.cycles += blk.cycles;
+            res.sram_reads += blk.sram_reads;
+            res.sram_writes += blk.sram_writes;
+            res.hashes += blk.hashes;
+            // SAFETY: `lo..hi` is exactly the op range `compile` pushed
+            // for this block.
+            let ops = unsafe { self.ops.get_unchecked(blk.lo as usize..blk.hi as usize) };
+            for op in ops {
+                // SAFETY (memory ops below): the verifier proved
+                // `off + width <= 64` for every MP access and
+                // `off + 4 <= state_bytes` for every state access, and
+                // the entry assertion extends the latter to the actual
+                // slice.
+                match *op {
+                    MicroOp::Imm { dst, val } => w!(dst, val),
+                    MicroOp::Mov { dst, src } => w!(dst, r!(src)),
+                    MicroOp::AddR { dst, a, b } => w!(dst, r!(a).wrapping_add(r!(b))),
+                    MicroOp::AddI { dst, a, v } => w!(dst, r!(a).wrapping_add(v)),
+                    MicroOp::SubR { dst, a, b } => w!(dst, r!(a).wrapping_sub(r!(b))),
+                    MicroOp::SubI { dst, a, v } => w!(dst, r!(a).wrapping_sub(v)),
+                    MicroOp::AndR { dst, a, b } => w!(dst, r!(a) & r!(b)),
+                    MicroOp::AndI { dst, a, v } => w!(dst, r!(a) & v),
+                    MicroOp::OrR { dst, a, b } => w!(dst, r!(a) | r!(b)),
+                    MicroOp::OrI { dst, a, v } => w!(dst, r!(a) | v),
+                    MicroOp::XorR { dst, a, b } => w!(dst, r!(a) ^ r!(b)),
+                    MicroOp::XorI { dst, a, v } => w!(dst, r!(a) ^ v),
+                    // Canonical modulo-32 shift semantics (isa.rs).
+                    MicroOp::ShlR { dst, a, b } => w!(dst, r!(a) << (r!(b) & 31)),
+                    MicroOp::ShlI { dst, a, v } => w!(dst, r!(a) << (v & 31)),
+                    MicroOp::ShrR { dst, a, b } => w!(dst, r!(a) >> (r!(b) & 31)),
+                    MicroOp::ShrI { dst, a, v } => w!(dst, r!(a) >> (v & 31)),
+                    MicroOp::LdB { dst, off } => {
+                        w!(dst, u32::from(unsafe { *mp.get_unchecked(usize::from(off)) }))
+                    }
+                    MicroOp::LdH { dst, off } => {
+                        w!(dst, u32::from(unsafe { rd16(mp, usize::from(off)) }))
+                    }
+                    MicroOp::LdW { dst, off } => {
+                        w!(dst, unsafe { rd32(mp, usize::from(off)) })
+                    }
+                    MicroOp::StB { off, src } => {
+                        let v = r!(src) as u8;
+                        unsafe { *mp.get_unchecked_mut(usize::from(off)) = v }
+                    }
+                    MicroOp::StH { off, src } => {
+                        let v = r!(src) as u16;
+                        unsafe { wr16(mp, usize::from(off), v) }
+                    }
+                    MicroOp::StW { off, src } => {
+                        let v = r!(src);
+                        unsafe { wr32(mp, usize::from(off), v) }
+                    }
+                    MicroOp::SramRd { dst, off } => {
+                        w!(dst, unsafe { rd32(state, usize::from(off)) })
+                    }
+                    MicroOp::SramWr { off, src } => {
+                        let v = r!(src);
+                        unsafe { wr32(state, usize::from(off), v) }
+                    }
+                    MicroOp::Hash { dst, src } => {
+                        // Canonical Hash semantics (isa.rs): low 32 bits
+                        // of the 48-bit hardware hash.
+                        w!(dst, hash48(u64::from(r!(src))) as u32)
+                    }
+                    MicroOp::SetQueueReg { src } => res.queue_override = Some(r!(src)),
+                    MicroOp::SetQueueImm { v } => res.queue_override = Some(v),
+                }
+            }
+            b = match blk.term {
+                Terminator::Jump { to } => to,
+                Terminator::CondReg { cond, a, b, taken, fall } => {
+                    if cond.eval(r!(a), r!(b)) {
+                        res.cycles += BRANCH_DELAY_CYCLES;
+                        taken
+                    } else {
+                        fall
+                    }
+                }
+                Terminator::CondImm { cond, a, v, taken, fall } => {
+                    if cond.eval(r!(a), v) {
+                        res.cycles += BRANCH_DELAY_CYCLES;
+                        taken
+                    } else {
+                        fall
+                    }
+                }
+                Terminator::Stop { action } => {
+                    res.action = action;
+                    STOP
+                }
+            };
+        }
+        res
+    }
+}
+
+/// Unchecked big-endian accessors for the hot loop.
+///
+/// # Safety
+///
+/// `o + width <= buf.len()` — inside [`CompiledProgram::run`] that is
+/// the verifier's `MpOutOfRange` / `StateOutOfRange` guarantee (plus
+/// the entry assertion covering the state slice length).
+#[inline(always)]
+unsafe fn rd16(buf: &[u8], o: usize) -> u16 {
+    debug_assert!(o + 2 <= buf.len());
+    unsafe { u16::from_be_bytes(*(buf.as_ptr().add(o) as *const [u8; 2])) }
+}
+
+/// See [`rd16`] for the safety contract (`o + 4 <= buf.len()`).
+#[inline(always)]
+unsafe fn rd32(buf: &[u8], o: usize) -> u32 {
+    debug_assert!(o + 4 <= buf.len());
+    unsafe { u32::from_be_bytes(*(buf.as_ptr().add(o) as *const [u8; 4])) }
+}
+
+/// See [`rd16`] for the safety contract (`o + 2 <= buf.len()`).
+#[inline(always)]
+unsafe fn wr16(buf: &mut [u8], o: usize, v: u16) {
+    debug_assert!(o + 2 <= buf.len());
+    unsafe { *(buf.as_mut_ptr().add(o) as *mut [u8; 2]) = v.to_be_bytes() }
+}
+
+/// See [`rd16`] for the safety contract (`o + 4 <= buf.len()`).
+#[inline(always)]
+unsafe fn wr32(buf: &mut [u8], o: usize, v: u32) {
+    debug_assert!(o + 4 <= buf.len());
+    unsafe { *(buf.as_mut_ptr().add(o) as *mut [u8; 4]) = v.to_be_bytes() }
+}
+
+/// Lowers `prog` into a [`CompiledProgram`], verifying it first: the
+/// bounds hoisting and block-level cost summing below are only sound
+/// for programs [`analyze`] admits.
+pub fn compile(prog: &VrpProgram) -> Result<CompiledProgram, VerifyError> {
+    analyze(prog)?;
+    let n = prog.insns.len();
+
+    // Pass 1: block leaders — entry, every branch target, and every
+    // instruction following a branch or terminal (reachable or not;
+    // unreachable blocks are simply never entered).
+    let mut leader = vec![false; n + 1];
+    leader[0] = true;
+    for (i, insn) in prog.insns.iter().enumerate() {
+        match *insn {
+            Insn::Br { target } => {
+                leader[usize::from(target)] = true;
+                leader[i + 1] = true;
+            }
+            Insn::BrCond { target, .. } => {
+                leader[usize::from(target)] = true;
+                leader[i + 1] = true;
+            }
+            Insn::Done | Insn::Drop | Insn::ToSa | Insn::ToPe => leader[i + 1] = true,
+            _ => {}
+        }
+    }
+    let mut block_of = vec![0u32; n + 1];
+    let mut blocks_total = 0u32;
+    for i in 0..n {
+        if leader[i] {
+            blocks_total += 1;
+        }
+        block_of[i] = blocks_total - 1;
+    }
+    // Branching to `n` is the graceful exit.
+    block_of[n] = STOP;
+    let target_block = |t: u16| -> u32 {
+        let t = usize::from(t);
+        if t >= n {
+            STOP
+        } else {
+            block_of[t]
+        }
+    };
+
+    // Pass 2: lower instructions into micro-ops and close each block
+    // with its terminator and summed static cost.
+    let mut ops: Vec<MicroOp> = Vec::with_capacity(n);
+    let mut blocks: Vec<Block> = Vec::with_capacity(blocks_total as usize);
+    let mut cur = Block {
+        lo: 0,
+        hi: 0,
+        cycles: 0,
+        sram_reads: 0,
+        sram_writes: 0,
+        hashes: 0,
+        term: Terminator::Stop {
+            action: VrpAction::Forward,
+        },
+    };
+    // Block-local constant lattice: `konst[r]` holds register `r`'s
+    // value when it is statically known at this point in the block.
+    // Entering a block forgets everything (values may arrive from any
+    // predecessor), so folding never crosses a block boundary. Folding
+    // replaces an op with the `Imm` of its result — same op count,
+    // same statically summed cycles, identical register contents at
+    // every step — but it snips the host-side store-to-load dependence
+    // chain through the register file, which is what bounds the block
+    // machine on ALU-dense programs.
+    let mut konst: [Option<u32>; NUM_GPRS] = [None; NUM_GPRS];
+    for (i, insn) in prog.insns.iter().enumerate() {
+        cur.cycles += 1; // Every instruction costs one cycle...
+        let term = match *insn {
+            Insn::Imm { dst, val } => {
+                konst[usize::from(dst)] = Some(val);
+                ops.push(MicroOp::Imm { dst, val });
+                None
+            }
+            Insn::Mov { dst, src } => {
+                let v = konst[usize::from(src)];
+                konst[usize::from(dst)] = v;
+                ops.push(match v {
+                    Some(val) => MicroOp::Imm { dst, val },
+                    None => MicroOp::Mov { dst, src },
+                });
+                None
+            }
+            Insn::Alu { op, dst, a, b } => {
+                let av = konst[usize::from(a)];
+                let bv = match b {
+                    Src::Imm(v) => Some(v),
+                    Src::Reg(r) => konst[usize::from(r)],
+                };
+                if let (Some(x), Some(y)) = (av, bv) {
+                    let val = alu_const(op, x, y);
+                    konst[usize::from(dst)] = Some(val);
+                    ops.push(MicroOp::Imm { dst, val });
+                    None
+                } else {
+                    konst[usize::from(dst)] = None;
+                    ops.push(match (op, b) {
+                    (AluOp::Add, Src::Reg(r)) => MicroOp::AddR { dst, a, b: r },
+                    (AluOp::Add, Src::Imm(v)) => MicroOp::AddI { dst, a, v },
+                    (AluOp::Sub, Src::Reg(r)) => MicroOp::SubR { dst, a, b: r },
+                    (AluOp::Sub, Src::Imm(v)) => MicroOp::SubI { dst, a, v },
+                    (AluOp::And, Src::Reg(r)) => MicroOp::AndR { dst, a, b: r },
+                    (AluOp::And, Src::Imm(v)) => MicroOp::AndI { dst, a, v },
+                    (AluOp::Or, Src::Reg(r)) => MicroOp::OrR { dst, a, b: r },
+                    (AluOp::Or, Src::Imm(v)) => MicroOp::OrI { dst, a, v },
+                    (AluOp::Xor, Src::Reg(r)) => MicroOp::XorR { dst, a, b: r },
+                    (AluOp::Xor, Src::Imm(v)) => MicroOp::XorI { dst, a, v },
+                    (AluOp::Shl, Src::Reg(r)) => MicroOp::ShlR { dst, a, b: r },
+                    (AluOp::Shl, Src::Imm(v)) => MicroOp::ShlI { dst, a, v },
+                    (AluOp::Shr, Src::Reg(r)) => MicroOp::ShrR { dst, a, b: r },
+                    (AluOp::Shr, Src::Imm(v)) => MicroOp::ShrI { dst, a, v },
+                    });
+                    None
+                }
+            }
+            Insn::LdB { dst, off } => {
+                konst[usize::from(dst)] = None;
+                ops.push(MicroOp::LdB { dst, off });
+                None
+            }
+            Insn::LdH { dst, off } => {
+                konst[usize::from(dst)] = None;
+                ops.push(MicroOp::LdH { dst, off });
+                None
+            }
+            Insn::LdW { dst, off } => {
+                konst[usize::from(dst)] = None;
+                ops.push(MicroOp::LdW { dst, off });
+                None
+            }
+            Insn::StB { off, src } => {
+                ops.push(MicroOp::StB { off, src });
+                None
+            }
+            Insn::StH { off, src } => {
+                ops.push(MicroOp::StH { off, src });
+                None
+            }
+            Insn::StW { off, src } => {
+                ops.push(MicroOp::StW { off, src });
+                None
+            }
+            Insn::SramRd { dst, off } => {
+                cur.sram_reads += 1;
+                konst[usize::from(dst)] = None;
+                ops.push(MicroOp::SramRd { dst, off });
+                None
+            }
+            Insn::SramWr { off, src } => {
+                cur.sram_writes += 1;
+                ops.push(MicroOp::SramWr { off, src });
+                None
+            }
+            Insn::Hash { dst, src } => {
+                cur.hashes += 1;
+                // Foldable in principle (hash48 is pure), but counted
+                // hardware-unit work stays an executed op for clarity.
+                konst[usize::from(dst)] = None;
+                ops.push(MicroOp::Hash { dst, src });
+                None
+            }
+            Insn::SetQueue { q } => {
+                ops.push(match q {
+                    Src::Reg(r) => match konst[usize::from(r)] {
+                        Some(v) => MicroOp::SetQueueImm { v },
+                        None => MicroOp::SetQueueReg { src: r },
+                    },
+                    Src::Imm(v) => MicroOp::SetQueueImm { v },
+                });
+                None
+            }
+            Insn::Br { target } => {
+                // ...an unconditional branch also pays the delay, on
+                // every execution, so it folds into the block. A branch
+                // past the end is the graceful Forward exit the
+                // verifier's DP models and the interpreter mirrors.
+                cur.cycles += BRANCH_DELAY_CYCLES;
+                Some(match target_block(target) {
+                    STOP => Terminator::Stop {
+                        action: VrpAction::Forward,
+                    },
+                    to => Terminator::Jump { to },
+                })
+            }
+            Insn::BrCond { cond, a, b, target } => {
+                // The taken path's delay is data-dependent: charged at
+                // run time by the terminator.
+                let taken = target_block(target);
+                let fall = block_of[i + 1];
+                Some(match b {
+                    Src::Reg(r) => Terminator::CondReg { cond, a, b: r, taken, fall },
+                    Src::Imm(v) => Terminator::CondImm { cond, a, v, taken, fall },
+                })
+            }
+            Insn::Done => Some(Terminator::Stop {
+                action: VrpAction::Forward,
+            }),
+            Insn::Drop => Some(Terminator::Stop {
+                action: VrpAction::Drop,
+            }),
+            Insn::ToSa => Some(Terminator::Stop {
+                action: VrpAction::ToSa,
+            }),
+            Insn::ToPe => Some(Terminator::Stop {
+                action: VrpAction::ToPe,
+            }),
+        };
+        let split = match term {
+            Some(t) => {
+                cur.term = t;
+                true
+            }
+            // A straight-line instruction immediately before a branch
+            // target ends its block too: fall through at zero cost.
+            None if leader[i + 1] => {
+                cur.term = Terminator::Jump {
+                    to: block_of[i + 1],
+                };
+                true
+            }
+            None => false,
+        };
+        if split {
+            konst = [None; NUM_GPRS];
+            cur.hi = ops.len() as u32;
+            blocks.push(cur);
+            cur = Block {
+                lo: ops.len() as u32,
+                hi: ops.len() as u32,
+                cycles: 0,
+                sram_reads: 0,
+                sram_writes: 0,
+                hashes: 0,
+                term: Terminator::Stop {
+                    action: VrpAction::Forward,
+                },
+            };
+        }
+    }
+    debug_assert_eq!(blocks.len(), blocks_total as usize);
+
+    Ok(CompiledProgram {
+        name: prog.name.clone(),
+        ops,
+        blocks,
+        state_bytes: prog.state_bytes,
+    })
+}
+
+/// Canonical constant evaluation of one ALU op — the same semantics
+/// `isa.rs` documents and both execution tiers implement: wrapping
+/// add/sub, modulo-32 shifts.
+fn alu_const(op: AluOp, x: u32, y: u32) -> u32 {
+    match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x << (y & 31),
+        AluOp::Shr => x >> (y & 31),
+    }
+}
+
+/// A program plus its (optional) compiled form: the unit the router
+/// actually installs and executes.
+///
+/// The dispatch policy lives here. With [`VrpBackend::Compiled`] the
+/// program is lowered at construction — i.e. at install/admission time,
+/// once — and every run takes the block machine. If compilation is
+/// refused (the program does not verify: corrupted installs,
+/// unverified pads)
+/// or the caller's flow-state slice is shorter than the program
+/// declares, execution falls back to the interpreter, which reproduces
+/// the exact dynamic [`RunError`] the pre-compilation router surfaced.
+#[derive(Debug)]
+pub struct Executable {
+    prog: VrpProgram,
+    backend: VrpBackend,
+    compiled: Option<CompiledProgram>,
+}
+
+impl Executable {
+    /// Wraps `prog`, lowering it now if `backend` asks for compilation
+    /// and the program verifies.
+    pub fn new(prog: VrpProgram, backend: VrpBackend) -> Self {
+        let compiled = match backend {
+            VrpBackend::Interp => None,
+            VrpBackend::Compiled => compile(&prog).ok(),
+        };
+        Self {
+            prog,
+            backend,
+            compiled,
+        }
+    }
+
+    /// The source program.
+    pub fn prog(&self) -> &VrpProgram {
+        &self.prog
+    }
+
+    /// The backend that was requested at construction.
+    pub fn backend(&self) -> VrpBackend {
+        self.backend
+    }
+
+    /// Whether runs actually take the compiled blocks.
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Executes with the same contract as `npr_vrp::run`.
+    pub fn run(&self, mp: &mut [u8; 64], state: &mut [u8]) -> Result<RunResult, RunError> {
+        if let Some(c) = &self.compiled {
+            if state.len() >= usize::from(c.state_bytes) {
+                return Ok(c.run(mp, state));
+            }
+        }
+        run(&self.prog, mp, state)
+    }
+}
+
+impl Clone for Executable {
+    /// Re-lowers on clone (cheap: pre-decoding is one pass); same
+    /// requested backend, so behavior is identical.
+    fn clone(&self) -> Self {
+        Self::new(self.prog.clone(), self.backend)
+    }
+}
+
+#[cfg(test)]
+#[path = "compile_tests.rs"]
+mod tests;

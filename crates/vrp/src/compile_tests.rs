@@ -1,0 +1,231 @@
+//! Lock-step tests for the compile-on-verify tier: the interpreter is
+//! the semantic oracle; every assertion here holds the two backends
+//! bit-identical (results, cycles, MP and flow-state mutations).
+
+use super::*;
+use crate::asm::Asm;
+use crate::isa::Cond;
+
+/// Runs both backends on identical inputs and requires bit-identical
+/// results and identical MP/state mutation.
+fn lockstep(prog: &VrpProgram, mp_seed: u8) -> RunResult {
+    let mut mp_i = [mp_seed; 64];
+    let mut mp_c = [mp_seed; 64];
+    let sb = usize::from(prog.state_bytes);
+    let mut st_i = vec![0u8; sb];
+    let mut st_c = vec![0u8; sb];
+    let ri = run(prog, &mut mp_i, &mut st_i).expect("verified program interprets");
+    let c = compile(prog).expect("verified program compiles");
+    let rc = c.run(&mut mp_c, &mut st_c);
+    assert_eq!(ri, rc, "RunResult diverged for {}", prog.name);
+    assert_eq!(mp_i, mp_c, "MP mutation diverged for {}", prog.name);
+    assert_eq!(st_i, st_c, "state mutation diverged for {}", prog.name);
+    rc
+}
+
+#[test]
+fn constant_folding_is_invisible() {
+    // A chain the lowering pass folds completely: every ALU op over
+    // known constants, including the mod-32 shift edge, plus a Mov
+    // of a constant and a SetQueue through a folded register. The
+    // store makes the folded values observable, and the lockstep
+    // oracle pins results, cycles, and mutations bit-identical.
+    let mut a = Asm::new("folds");
+    a.imm(0, 0x1234_5678)
+        .add(1, 0, Src::Imm(0xFFFF_FFFF)) // wrapping
+        .sub(2, 1, Src::Imm(0x9000_0000)) // wrapping
+        .and(3, 2, Src::Imm(0x0FF0_0FF0))
+        .or(3, 3, Src::Imm(0x8000_0001))
+        .xor(3, 3, Src::Reg(0))
+        .shl(4, 3, Src::Imm(33)) // mod-32: == shl 1
+        .shr(4, 4, Src::Imm(32)) // mod-32: == shr 0
+        .mov(5, 4)
+        .stw(0, 5)
+        .set_queue(Src::Reg(5))
+        .done();
+    let prog = a.finish(0).unwrap();
+    let r = lockstep(&prog, 0);
+    // And the folded values themselves, computed by hand.
+    let v3 = ((0x1234_5677u32.wrapping_sub(0x9000_0000) & 0x0FF0_0FF0)
+        | 0x8000_0001)
+        ^ 0x1234_5678;
+    assert_eq!(r.queue_override, Some(v3 << 1));
+    assert_eq!(r.cycles, 12);
+
+    // Folding must stop at values that arrive from memory: a load
+    // feeding the same chain keeps everything downstream dynamic.
+    let mut a = Asm::new("no-fold");
+    a.ldw(0, 4).add(1, 0, Src::Imm(3)).stw(8, 1).done();
+    lockstep(&a.finish(0).unwrap(), 0x77);
+
+    // And at block boundaries: a constant set before a branch is
+    // not assumed after the join.
+    let mut a = Asm::new("fold-boundary");
+    let l = a.new_label();
+    a.imm(0, 7)
+        .ldb(1, 0)
+        .br_cond(Cond::Eq, 1, Src::Imm(0), l)
+        .imm(0, 9);
+    a.bind(l);
+    a.add(2, 0, Src::Imm(1)).stw(0, 2).done();
+    let prog = a.finish(0).unwrap();
+    for seed in [0u8, 1] {
+        lockstep(&prog, seed);
+    }
+}
+
+#[test]
+fn compile_requires_verification() {
+    let bad = VrpProgram {
+        name: "bad".into(),
+        insns: vec![Insn::Imm { dst: 9, val: 0 }, Insn::Done],
+        state_bytes: 0,
+    };
+    assert!(matches!(
+        compile(&bad),
+        Err(VerifyError::BadRegister { .. })
+    ));
+}
+
+#[test]
+fn branch_to_end_terminates_gracefully_in_both_backends() {
+    // BrCond taken to target == n: the verifier admits this (the DP
+    // treats index n as zero-cost termination) — both backends must
+    // exit forwarding, not report FellOffEnd. Pin for satellite 1.
+    let prog = VrpProgram {
+        name: "br-to-end".into(),
+        insns: vec![
+            Insn::Imm { dst: 0, val: 1 },
+            Insn::BrCond {
+                cond: Cond::Eq,
+                a: 0,
+                b: Src::Imm(1),
+                target: 3,
+            },
+            Insn::Done,
+        ],
+        state_bytes: 0,
+    };
+    analyze(&prog).expect("verifier admits branch-to-end");
+    let r = lockstep(&prog, 0);
+    assert_eq!(r.action, VrpAction::Forward);
+    // imm(1) + brcond(1) + delay(1); the skipped Done never runs.
+    assert_eq!(r.cycles, 2 + BRANCH_DELAY_CYCLES);
+
+    // Unconditional flavor.
+    let prog = VrpProgram {
+        name: "br-to-end-uncond".into(),
+        insns: vec![Insn::Br { target: 2 }, Insn::Done],
+        state_bytes: 0,
+    };
+    analyze(&prog).expect("verifier admits branch-to-end");
+    let r = lockstep(&prog, 0);
+    assert_eq!(r.action, VrpAction::Forward);
+    assert_eq!(r.cycles, 1 + BRANCH_DELAY_CYCLES);
+}
+
+#[test]
+fn shift_amounts_use_modulo_32_semantics() {
+    // Pin for satellite 2: shift by >= 32 takes the amount mod 32 —
+    // a shift by 32 is the identity, 33 shifts by one. Both
+    // backends, both directions.
+    for (amt, expect_shl, expect_shr) in [
+        (31u32, 0x8000_0000u32, 0u32),
+        (32, 3, 3),
+        (33, 6, 1),
+        (u32::MAX, 0x8000_0000, 0),
+    ] {
+        let mut a = Asm::new("shift");
+        a.imm(0, 3).imm(1, amt);
+        a.shl(2, 0, Src::Reg(1));
+        a.shr(3, 0, Src::Reg(1));
+        a.stw(0, 2).stw(4, 3).done();
+        let p = a.finish(0).unwrap();
+        let mut mp = [0u8; 64];
+        let r = run(&p, &mut mp, &mut []).unwrap();
+        assert_eq!(r.action, VrpAction::Forward);
+        assert_eq!(u32::from_be_bytes(mp[0..4].try_into().unwrap()), expect_shl);
+        assert_eq!(u32::from_be_bytes(mp[4..8].try_into().unwrap()), expect_shr);
+        lockstep(&p, 0);
+    }
+}
+
+#[test]
+fn hash_is_low_32_bits_of_hash48() {
+    // Pin for satellite 2: find an input whose 48-bit hash has high
+    // bits set, and require exactly the low-32-bit truncation.
+    let v = (0u32..)
+        .find(|&v| npr_ixp::hash48(u64::from(v)) > u64::from(u32::MAX))
+        .expect("some small input hashes above 2^32");
+    let mut a = Asm::new("hash");
+    a.imm(0, v).hash(1, 0).stw(0, 1).done();
+    let p = a.finish(0).unwrap();
+    let mut mp = [0u8; 64];
+    let r = run(&p, &mut mp, &mut []).unwrap();
+    assert_eq!(r.hashes, 1);
+    let got = u32::from_be_bytes(mp[0..4].try_into().unwrap());
+    assert_eq!(u64::from(got), npr_ixp::hash48(u64::from(v)) & 0xFFFF_FFFF);
+    lockstep(&p, 0);
+}
+
+#[test]
+fn compiled_results_are_bit_identical_over_the_corpus() {
+    for seed in 0..512u64 {
+        let prog = crate::gen::random_program(seed);
+        for mp_seed in [0u8, 0x5A, 0xFF] {
+            lockstep(&prog, mp_seed);
+        }
+    }
+}
+
+#[test]
+fn executable_falls_back_to_interp_for_unverifiable_programs() {
+    // An Executable around a program that cannot compile must
+    // surface the interpreter's exact dynamic error.
+    let rotted = VrpProgram {
+        name: "rotted".into(),
+        insns: vec![Insn::SramRd { dst: 0, off: 92 }, Insn::Done],
+        state_bytes: 4,
+    };
+    let e = Executable::new(rotted, VrpBackend::Compiled);
+    assert!(!e.is_compiled());
+    assert_eq!(
+        e.run(&mut [0; 64], &mut [0; 4]).unwrap_err(),
+        RunError::StateOutOfRange
+    );
+}
+
+#[test]
+fn executable_guards_short_state_slices() {
+    // Verified program, but the caller hands a state window shorter
+    // than declared: fall back so behavior matches the interpreter
+    // instead of panicking in the compiled run.
+    let mut a = Asm::new("count");
+    a.sram_rd(0, 0).add(0, 0, Src::Imm(1)).sram_wr(0, 0).done();
+    let p = a.finish(4).unwrap();
+    let e = Executable::new(p, VrpBackend::Compiled);
+    assert!(e.is_compiled());
+    assert_eq!(
+        e.run(&mut [0; 64], &mut []).unwrap_err(),
+        RunError::StateOutOfRange
+    );
+    // With a correctly sized window the compiled form runs.
+    let mut st = [0u8; 4];
+    let r = e.run(&mut [0; 64], &mut st).unwrap();
+    assert_eq!(r.sram_writes, 1);
+    assert_eq!(st, [0, 0, 0, 1]);
+}
+
+#[test]
+fn backend_knob_selects_the_tier() {
+    let mut a = Asm::new("t");
+    a.done();
+    let p = a.finish(0).unwrap();
+    let i = Executable::new(p.clone(), VrpBackend::Interp);
+    let c = Executable::new(p, VrpBackend::Compiled);
+    assert!(!i.is_compiled());
+    assert!(c.is_compiled());
+    assert_eq!(i.backend(), VrpBackend::Interp);
+    assert_eq!(c.backend().as_str(), "compiled");
+    assert_eq!(i.run(&mut [0; 64], &mut []), c.run(&mut [0; 64], &mut []));
+}

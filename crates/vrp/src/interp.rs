@@ -144,8 +144,8 @@ pub fn run(prog: &VrpProgram, mp: &mut [u8; 64], state: &mut [u8]) -> Result<Run
                     AluOp::And => x & y,
                     AluOp::Or => x | y,
                     AluOp::Xor => x ^ y,
-                    AluOp::Shl => x.wrapping_shl(y & 31),
-                    AluOp::Shr => x.wrapping_shr(y & 31),
+                    AluOp::Shl => x << (y & 31),
+                    AluOp::Shr => x >> (y & 31),
                 };
                 *regs
                     .get_mut(usize::from(*dst))
@@ -221,6 +221,12 @@ pub fn run(prog: &VrpProgram, mp: &mut [u8; 64], state: &mut [u8]) -> Result<Run
                     return Err(RunError::BadBranch);
                 }
                 res.cycles += BRANCH_DELAY_CYCLES;
+                // `target == n` is graceful termination, exactly as the
+                // verifier's DP models it (dp[n] = zero cost): the
+                // program exits forwarding, same as `Done`.
+                if t == n {
+                    return Ok(res);
+                }
                 next = t;
             }
             Insn::BrCond { cond, a, b, target } => {
@@ -232,6 +238,9 @@ pub fn run(prog: &VrpProgram, mp: &mut [u8; 64], state: &mut [u8]) -> Result<Run
                         return Err(RunError::BadBranch);
                     }
                     res.cycles += BRANCH_DELAY_CYCLES;
+                    if t == n {
+                        return Ok(res);
+                    }
                     next = t;
                 }
             }
@@ -371,8 +380,10 @@ mod tests {
             mp in npr_check::array::uniform32(npr_check::any::<u8>()),
             seed in npr_check::any::<u64>(),
         ) {
-            // Generate a structurally valid random program from the seed.
-            let prog = random_program(seed);
+            // Generate a structurally valid random program from the
+            // shared fuzz corpus (also used by the compiled-backend
+            // differential suite).
+            let prog = crate::gen::random_program(seed);
             if let Ok(cost) = analyze(&prog) {
                 let mut full_mp = [0u8; 64];
                 full_mp[..32].copy_from_slice(&mp);
@@ -392,63 +403,72 @@ mod tests {
         }
     }
 
-    /// Deterministic random program generator used by the soundness test:
-    /// emits a mix of ALU, MP, SRAM, hash, and forward-branch
-    /// instructions, terminated by `Done`.
-    fn random_program(seed: u64) -> VrpProgram {
-        let mut rng = npr_sim::XorShift64::new(seed);
-        let n = 4 + (rng.below(40) as usize);
-        let mut a = Asm::new("rand");
-        // Pre-allocate labels we may bind later.
-        let mut open: Vec<(crate::asm::Label, usize)> = Vec::new();
-        for i in 0..n {
-            // Bind any label whose time has come.
-            open.retain(|&(l, at)| {
-                if at <= i {
-                    a.bind(l);
-                    false
-                } else {
-                    true
-                }
-            });
-            match rng.below(10) {
-                0 => {
-                    a.imm((rng.below(8)) as u8, rng.next_u32());
-                }
-                1 => {
-                    a.add((rng.below(8)) as u8, (rng.below(8)) as u8, Src::Imm(1));
-                }
-                2 => {
-                    a.ldw((rng.below(8)) as u8, (rng.below(60)) as u8);
-                }
-                3 => {
-                    a.stb((rng.below(64)) as u8, (rng.below(8)) as u8);
-                }
-                4 => {
-                    a.sram_rd((rng.below(8)) as u8, (rng.below(5) * 4) as u8);
-                }
-                5 => {
-                    a.sram_wr((rng.below(5) * 4) as u8, (rng.below(8)) as u8);
-                }
-                6 => {
-                    a.hash((rng.below(8)) as u8, (rng.below(8)) as u8);
-                }
-                7 => {
-                    // Forward conditional branch to a future point.
-                    let l = a.new_label();
-                    let dist = 1 + rng.below(5) as usize;
-                    a.br_cond(Cond::Lt, (rng.below(8)) as u8, Src::Imm(rng.next_u32()), l);
-                    open.push((l, i + dist));
-                }
-                _ => {
-                    a.mov((rng.below(8)) as u8, (rng.below(8)) as u8);
-                }
-            }
+    #[test]
+    fn branch_to_end_is_graceful_termination() {
+        // Satellite-1 pin: the verifier admits `target == n` (its DP
+        // models index n as zero-cost termination), so the interpreter
+        // must exit forwarding — never `FellOffEnd` — on that path.
+        let taken = VrpProgram {
+            name: "br-to-end".into(),
+            insns: vec![
+                Insn::Imm { dst: 0, val: 1 },
+                Insn::BrCond {
+                    cond: Cond::Eq,
+                    a: 0,
+                    b: Src::Imm(1),
+                    target: 3,
+                },
+                Insn::Done,
+            ],
+            state_bytes: 0,
+        };
+        analyze(&taken).expect("verifier admits branch-to-end");
+        let r = run(&taken, &mut [0; 64], &mut []).unwrap();
+        assert_eq!(r.action, VrpAction::Forward);
+        assert_eq!(r.cycles, 2 + BRANCH_DELAY_CYCLES);
+
+        let uncond = VrpProgram {
+            name: "br-to-end-uncond".into(),
+            insns: vec![Insn::Br { target: 2 }, Insn::Done],
+            state_bytes: 0,
+        };
+        analyze(&uncond).expect("verifier admits branch-to-end");
+        let r = run(&uncond, &mut [0; 64], &mut []).unwrap();
+        assert_eq!(r.action, VrpAction::Forward);
+        assert_eq!(r.cycles, 1 + BRANCH_DELAY_CYCLES);
+        // The dynamic cost still matches the static bound exactly.
+        assert_eq!(analyze(&uncond).unwrap().worst_cycles, r.cycles);
+    }
+
+    #[test]
+    fn verified_programs_never_take_dynamic_errors() {
+        // The whole point of admission control: every structural check
+        // the interpreter performs at run time was already discharged
+        // statically, including branch-to-end. Sweep the shared corpus.
+        for seed in 0..512u64 {
+            let prog = crate::gen::random_program(seed);
+            analyze(&prog).expect("corpus programs verify");
+            let mut state = vec![0u8; usize::from(prog.state_bytes)];
+            run(&prog, &mut [0x5A; 64], &mut state)
+                .expect("verified program hit a dynamic RunError");
         }
-        for (l, _) in open {
-            a.bind(l);
-        }
-        a.done();
-        a.finish(24).expect("generator emits valid programs")
+    }
+
+    #[test]
+    fn shift_semantics_are_modulo_32() {
+        // Satellite-2 pin at the interpreter level: shift amounts are
+        // taken mod 32, so shifting by 32 is the identity.
+        let mut a = Asm::new("t");
+        a.imm(0, 3)
+            .shl(1, 0, Src::Imm(32))
+            .shr(2, 0, Src::Imm(33))
+            .stw(0, 1)
+            .stb(4, 2)
+            .done();
+        let p = a.finish(0).unwrap();
+        let mut mp = [0u8; 64];
+        run(&p, &mut mp, &mut []).unwrap();
+        assert_eq!(u32::from_be_bytes(mp[0..4].try_into().unwrap()), 3);
+        assert_eq!(mp[4], 1);
     }
 }

@@ -28,9 +28,13 @@ pub enum AluOp {
     Or,
     /// Bitwise XOR.
     Xor,
-    /// Logical shift left (shift amount masked to 31).
+    /// Logical shift left. Canonical semantics: the shift amount is
+    /// taken modulo 32 (`x << (y & 31)`), so a shift by 32 leaves the
+    /// value unchanged rather than zeroing it — matching the
+    /// MicroEngine barrel shifter, which only decodes the low five
+    /// bits. Both execution backends implement exactly this.
     Shl,
-    /// Logical shift right.
+    /// Logical shift right, same modulo-32 semantics as [`AluOp::Shl`].
     Shr,
 }
 
@@ -159,20 +163,27 @@ pub enum Insn {
         /// Source GPR.
         src: u8,
     },
-    /// Hardware hash: `dst = hash48(src)` truncated to 32 bits. One
-    /// cycle plus one hash-unit use (budget: 3 per MP).
+    /// Hardware hash. Canonical semantics: `dst` receives the **low 32
+    /// bits** of the 48-bit hardware hash (`hash48(src) & 0xFFFF_FFFF`);
+    /// the top 16 bits are discarded, never folded in. One cycle plus
+    /// one hash-unit use (budget: 3 per MP). Both execution backends
+    /// implement exactly this.
     Hash {
         /// Destination GPR.
         dst: u8,
         /// Source GPR.
         src: u8,
     },
-    /// Unconditional forward branch.
+    /// Unconditional forward branch. A target equal to the program
+    /// length is a graceful exit (equivalent to `Done`), mirroring the
+    /// verifier's cost model where the one-past-the-end node terminates
+    /// at zero cost.
     Br {
-        /// Target instruction index (must be > current index).
+        /// Target instruction index (must be > current index; may equal
+        /// the program length, which terminates like `Done`).
         target: u16,
     },
-    /// Conditional forward branch.
+    /// Conditional forward branch; branch-to-end semantics as [`Insn::Br`].
     BrCond {
         /// Condition.
         cond: Cond,
@@ -180,7 +191,8 @@ pub enum Insn {
         a: u8,
         /// Right operand.
         b: Src,
-        /// Target instruction index (must be > current index).
+        /// Target instruction index (must be > current index; may equal
+        /// the program length, which terminates like `Done`).
         target: u16,
     },
     /// Select the output queue for this packet.

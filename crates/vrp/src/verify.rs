@@ -271,11 +271,12 @@ pub fn analyze(prog: &VrpProgram) -> Result<VrpCost, VerifyError> {
         }
     }
 
-    // Fall-through check: the last instruction on every path must be
-    // terminal. With forward-only branches it suffices that the final
-    // instruction is terminal or an unconditional branch cannot reach it
-    // — we check directly that index n-1 is terminal (a Br as the final
-    // instruction would target past the end and is already rejected).
+    // Fall-through check: requiring the final instruction to be
+    // terminal guarantees sequential execution cannot fall off the end.
+    // Branching to index n is *not* falling off: the DP below models
+    // dp[n] as zero-cost termination, and both backends execute a
+    // branch-to-end as a graceful `Done`-style exit. (A final `Br` to n
+    // would also be safe but is conservatively rejected here.)
     if !prog.insns[n - 1].is_terminal() {
         return Err(VerifyError::MissingTerminal);
     }
