@@ -212,9 +212,9 @@ fn bench_extensions(c: &mut Criterion) {
     g.bench_function("fabric_2x", |b| {
         b.iter(|| {
             let mut f = npr_core::Fabric::new(2, RouterConfig::line_rate());
-            f.members[0].attach_cbr(0, 0.5, 200, 9);
+            f.member_mut(0).attach_cbr(0, 0.5, 200, 9);
             f.run_until(ms(5), 0);
-            f.switched
+            f.switched()
         })
     });
     // WFQ mapper hot path.

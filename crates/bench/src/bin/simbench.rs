@@ -1,11 +1,13 @@
 //! `simbench`: the simulator's own performance baseline.
 //!
 //! Measures the event-scheduler microbenchmark (calendar queue vs the
-//! `OracleQueue` reference heap, hold model) and per-experiment
-//! wall-clock, then writes `BENCH_sim.json` — the recorded perf
-//! trajectory that later PRs must not regress. Before timing anything
-//! it runs a lock-step differential check and refuses to emit numbers
-//! from a scheduler that diverges from the oracle.
+//! `OracleQueue` reference heap, hold model), per-experiment
+//! wall-clock, and the parallel-delivery `threads` axis (fault-sweep
+//! wall-clock at 1/2/4/8 worker threads), then writes
+//! `BENCH_sim.json` — the recorded perf trajectory that later PRs must
+//! not regress. Before timing anything it runs lock-step differential
+//! checks and refuses to emit numbers from a scheduler — or a parallel
+//! sweep — that diverges from its sequential oracle.
 //!
 //! ```text
 //! simbench [--quick] [--out PATH]
@@ -265,6 +267,52 @@ fn main() {
         axis.router_interp_ms, axis.router_compiled_ms, axis.router_speedup
     );
 
+    // 3c. The parallel-delivery threads axis: the fault sweep (one
+    //     fresh fault-injected router per (class, rate) point) fanned
+    //     across worker threads via `npr_sim::scatter`. Before any
+    //     wall-clock number is published, every thread count's curves
+    //     must be bit-identical to the sequential sweep — a diverging
+    //     parallel engine gets no benchmark. Speedup is honestly
+    //     bounded by the host: `host_cores` is recorded next to the
+    //     numbers, and on a 1-core box every count degenerates to the
+    //     sequential path.
+    let sweep_rates: &[u32] = if quick {
+        &[0, 20_000, 80_000]
+    } else {
+        npr_bench::DEGRADE_RATES
+    };
+    let thread_counts: [usize; 4] = [1, 2, 4, 8];
+    let mut sweep_walls: Vec<f64> = Vec::new();
+    let mut sweep_curves = Vec::new();
+    for &n in &thread_counts {
+        let t0 = Instant::now();
+        sweep_curves.push(npr_bench::fault_curves_threaded(
+            sweep_rates,
+            warmup,
+            window,
+            n,
+        ));
+        sweep_walls.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    for (i, curves) in sweep_curves.iter().enumerate().skip(1) {
+        if curves != &sweep_curves[0] {
+            eprintln!(
+                "simbench: PARALLEL SWEEP DIVERGED at {} threads: refusing to emit numbers",
+                thread_counts[i]
+            );
+            std::process::exit(1);
+        }
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep_speedup_max = sweep_walls[1..]
+        .iter()
+        .fold(0.0f64, |m, &w| m.max(sweep_walls[0] / w));
+    print!("parallel fault sweep ({host_cores} host cores): wall");
+    for (n, w) in thread_counts.iter().zip(&sweep_walls) {
+        print!(" {n}t={w:.0}ms");
+    }
+    println!(", best speedup {sweep_speedup_max:.2}x, bit-identical OK");
+
     // 4. Emit JSON (hand-formatted: the workspace has no serde, by
     //    policy).
     let mut json = String::new();
@@ -341,6 +389,31 @@ fn main() {
         "    \"router_speedup\": {:.3}\n",
         axis.router_speedup
     ));
+    json.push_str("  },\n");
+    json.push_str("  \"parallel\": {\n");
+    json.push_str(&format!("    \"host_cores\": {host_cores},\n"));
+    json.push_str("    \"fault_sweep\": {\n");
+    json.push_str(&format!(
+        "      \"points\": {},\n",
+        sweep_rates.len() * npr_bench::exp_faults::DEGRADE_CLASSES.len()
+    ));
+    json.push_str("      \"threads\": [");
+    for (i, n) in thread_counts.iter().enumerate() {
+        let comma = if i + 1 < thread_counts.len() { ", " } else { "" };
+        json.push_str(&format!("{n}{comma}"));
+    }
+    json.push_str("],\n");
+    json.push_str("      \"wall_ms\": [");
+    for (i, w) in sweep_walls.iter().enumerate() {
+        let comma = if i + 1 < sweep_walls.len() { ", " } else { "" };
+        json.push_str(&format!("{w:.1}{comma}"));
+    }
+    json.push_str("],\n");
+    json.push_str(&format!(
+        "      \"speedup_max\": {sweep_speedup_max:.3},\n"
+    ));
+    json.push_str("      \"bit_identical\": true\n");
+    json.push_str("    }\n");
     json.push_str("  },\n");
     json.push_str("  \"experiments\": [\n");
     for (i, (name, ms)) in experiments.iter().enumerate() {

@@ -14,7 +14,7 @@
 //! the whole sweep is reproducible bit-for-bit.
 
 use npr_core::{Router, RouterConfig};
-use npr_sim::{FaultClass, FaultPlan, Time};
+use npr_sim::{scatter, FaultClass, FaultPlan, Time};
 
 /// Seed for every curve's fault plan; per-class streams diverge inside
 /// the plan, so one constant keeps the sweep reproducible.
@@ -36,7 +36,7 @@ pub const DEGRADE_CLASSES: &[FaultClass] = &[
 ];
 
 /// One class's degradation curve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultCurve {
     /// Injector class swept.
     pub class: FaultClass,
@@ -97,11 +97,47 @@ pub fn fault_curve(class: FaultClass, rates: &[u32], warmup: Time, window: Time)
     }
 }
 
-/// Sweeps every class in [`DEGRADE_CLASSES`].
+/// Sweeps every class in [`DEGRADE_CLASSES`] sequentially.
 pub fn fault_curves(rates: &[u32], warmup: Time, window: Time) -> Vec<FaultCurve> {
     DEGRADE_CLASSES
         .iter()
         .map(|&c| fault_curve(c, rates, warmup, window))
+        .collect()
+}
+
+/// The same sweep with the independent `(class, rate)` points fanned
+/// across `threads` worker threads ([`npr_sim::scatter`]). Every point
+/// is a fresh router with a fixed-seed plan, so the result is
+/// bit-identical to [`fault_curves`] at every thread count — pinned by
+/// `threaded_sweep_matches_the_sequential_sweep` below, and the
+/// equality the simbench `threads` axis refuses to publish without.
+pub fn fault_curves_threaded(
+    rates: &[u32],
+    warmup: Time,
+    window: Time,
+    threads: usize,
+) -> Vec<FaultCurve> {
+    let per = rates.len();
+    let points = scatter(DEGRADE_CLASSES.len() * per, threads, |i| {
+        let class = DEGRADE_CLASSES[i / per];
+        let ppm = rates[i % per];
+        let mut r = loaded_router(class);
+        r.set_fault_plan(Some(FaultPlan::new(DEGRADE_SEED).with_rate(class, ppm)));
+        let mpps = r.measure(warmup, window).forward_mpps;
+        (mpps, r.fault_plan().map_or(0, |p| p.injected(class)))
+    });
+    DEGRADE_CLASSES
+        .iter()
+        .enumerate()
+        .map(|(ci, &class)| {
+            let chunk = &points[ci * per..(ci + 1) * per];
+            FaultCurve {
+                class,
+                rates_ppm: rates.to_vec(),
+                mpps: chunk.iter().map(|p| p.0).collect(),
+                injected: chunk.iter().map(|p| p.1).collect(),
+            }
+        })
         .collect()
 }
 
@@ -189,6 +225,24 @@ mod tests {
                 floor > 0.1,
                 "{name}: heaviest rate collapsed throughput to {:.1}% of baseline",
                 floor * 100.0
+            );
+        }
+    }
+
+    /// The parallel sweep is the sequential sweep, bit for bit, at
+    /// every thread count (including oversubscription of a small
+    /// host). `f64` equality is exact here by design: identical inputs
+    /// through an identical deterministic simulation.
+    #[test]
+    fn threaded_sweep_matches_the_sequential_sweep() {
+        let rates = &[0, 20_000];
+        let (warmup, window) = (ms(1) / 5, ms(1) / 2);
+        let oracle = fault_curves(rates, warmup, window);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                fault_curves_threaded(rates, warmup, window, threads),
+                oracle,
+                "threads={threads} moved the sweep"
             );
         }
     }

@@ -25,7 +25,9 @@ pub mod fmt;
 pub use exp_backend::{backend_axis, BackendAxis};
 pub use exp_baseline::{baseline, BaselineResult};
 pub use exp_control::{control_json, control_storm, ControlResult};
-pub use exp_faults::{curves_json, fault_curve, fault_curves, FaultCurve, DEGRADE_RATES};
+pub use exp_faults::{
+    curves_json, fault_curve, fault_curves, fault_curves_threaded, FaultCurve, DEGRADE_RATES,
+};
 pub use exp_figures::{fig10, fig7, fig9, Fig10Point, Fig7Result, Fig9Series};
 pub use exp_recovery::{recovery, recovery_json, RecoveryResult, RECOVERY_SEED};
 pub use exp_robustness::{budget, flood, linerate, robustness, slowpath, strongarm};

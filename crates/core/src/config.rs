@@ -131,6 +131,17 @@ pub struct RouterConfig {
     /// bit-rot injected by tests — always fall back to the interpreter,
     /// which is what surfaces their traps.
     pub vrp_backend: npr_vrp::VrpBackend,
+    /// Worker threads for the conservative parallel delivery engine
+    /// (`npr_sim::delivery`). `1` (default) is the lock-step sequential
+    /// oracle; `0` means use the host's available parallelism; larger
+    /// values pick the `Parallel` strategy directly. The knob only ever
+    /// moves host wall-clock: every thread count is bit-identical by
+    /// construction and by gate (the parallel differential suites).
+    /// One *router* is always stepped by a single thread — its three
+    /// planes share one mutable `Bus` per event, so the shard unit is
+    /// a whole chassis (fabric member) or a whole scenario (sweeps),
+    /// never an individual MicroEngine (DESIGN.md §13).
+    pub sim_threads: usize,
 }
 
 impl Default for RouterConfig {
@@ -174,11 +185,22 @@ impl Default for RouterConfig {
             health_trap_threshold: 8,
             health_check_conservation: false,
             vrp_backend: npr_vrp::VrpBackend::Compiled,
+            sim_threads: 1,
         }
     }
 }
 
 impl RouterConfig {
+    /// The delivery thread count with `0` resolved to the host's
+    /// available parallelism (at least 1).
+    pub fn resolved_sim_threads(&self) -> usize {
+        if self.sim_threads == 0 {
+            npr_sim::auto_threads()
+        } else {
+            self.sim_threads
+        }
+    }
+
     /// Table 1, input rows: 4 MicroEngines (16 contexts) of input
     /// processing only, ideal ports.
     pub fn table1_input(d: InputDiscipline, contended: bool) -> Self {

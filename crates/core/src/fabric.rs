@@ -6,19 +6,29 @@
 //! arriving on the 'internal' link").
 //!
 //! Each member is a full [`Router`] whose gigabit port 8 is the
-//! internal uplink. The fabric steps all members in lock-step epochs;
-//! frames transmitted on an uplink are captured, reassembled, switched
-//! by destination subnet, and injected into the target member's uplink
-//! with a fixed switch latency.
+//! internal uplink, wrapped in a [`MemberShard`] — the unit of
+//! parallelism for `npr_sim::delivery`. Two stepping modes exist:
+//!
+//! * [`Fabric::run_until`] — the legacy coarse-epoch mode: members
+//!   advance in long lock-step slices (default 100 µs) and uplink
+//!   frames switch at each boundary, relying on the port primer's
+//!   past-timestamp clamp. Kept bit-for-bit as-is for the experiments
+//!   that baselined on it.
+//! * [`Fabric::run_lockstep`] — the conservative parallel mode: the
+//!   epoch grid is [`SWITCH_LATENCY_PS`] (the minimum cross-chassis
+//!   latency, hence a safe lookahead), members advance concurrently
+//!   under a chosen thread count, and cross-shard frames are merged
+//!   deterministically on `(arrival, source, emission)` so every
+//!   thread count is bit-identical to the single-threaded oracle
+//!   (DESIGN.md §13).
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use npr_ixp::TrafficSource;
 use npr_packet::{EthernetFrame, Frame, Ipv4Header, MacAddr, Mp};
 use npr_route::NextHop;
-use npr_sim::Time;
+use npr_sim::{run_threads, EngineStats, Outbox, Shard, Time};
 
 use crate::config::RouterConfig;
 use crate::router::{ms, Router};
@@ -27,11 +37,15 @@ use crate::router::{ms, Router};
 pub const UPLINK_PORT: usize = 8;
 
 /// Switch forwarding latency (store-and-forward of a minimum frame on
-/// gigabit plus lookup).
+/// gigabit plus lookup). Every cross-chassis frame pays at least this,
+/// which makes it the conservative lookahead for [`Fabric::run_lockstep`].
 pub const SWITCH_LATENCY_PS: Time = 2_000_000; // 2 us.
 
 /// A timestamped frame queue shared between the switch and a port.
-type SharedFrameQueue = Rc<RefCell<VecDeque<(Time, Frame)>>>;
+/// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` so a shard (and the
+/// router inside it) is `Send`; the lock is never contended — only the
+/// thread currently stepping the owning shard touches it.
+type SharedFrameQueue = Arc<Mutex<VecDeque<(Time, Frame)>>>;
 
 /// A pull source backed by a shared queue the fabric pushes into.
 struct SharedQueueSource {
@@ -40,21 +54,113 @@ struct SharedQueueSource {
 
 impl TrafficSource for SharedQueueSource {
     fn next_frame(&mut self) -> Option<(Time, Frame)> {
-        self.q.borrow_mut().pop_front()
+        self.q.lock().expect("uplink queue poisoned").pop_front()
     }
+}
+
+/// One chassis as a delivery shard: the router, its uplink inbox, and
+/// the switch-side state that belongs to this member (reassembly of
+/// *its* transmitted MPs, its share of the switch counters).
+pub struct MemberShard {
+    /// The member router (public: tests and experiments reach through
+    /// [`Fabric::member`]/[`Fabric::member_mut`], which expose this).
+    pub(crate) router: Router,
+    /// This member's index.
+    k: usize,
+    /// Total member count (for subnet ownership routing).
+    n: usize,
+    /// Frames switched toward this member, pulled by the uplink source.
+    uplink_in: SharedFrameQueue,
+    /// Partial frames being reassembled from captured uplink MPs.
+    partial: HashMap<u64, Vec<Mp>>,
+    /// Frames this member pushed through the switch.
+    switched: u64,
+    /// Frames from this member that no one owns.
+    switch_drops: u64,
+}
+
+impl MemberShard {
+    /// Drains this member's captured uplink MPs, reassembles complete
+    /// frames, and routes them: returns `(dest, arrival, frame)` for
+    /// every switchable frame, counting unroutable ones as drops. The
+    /// single switching implementation shared by both stepping modes.
+    fn collect_switched(&mut self) -> Vec<(usize, Time, Frame)> {
+        let cap = self.router.ixp.hw.ports[UPLINK_PORT]
+            .tx_capture
+            .take()
+            .unwrap_or_default();
+        self.router.ixp.hw.ports[UPLINK_PORT].tx_capture = Some(Vec::new());
+        let mut out = Vec::new();
+        for (done, mp) in cap {
+            let fid = mp.frame_id;
+            let ends = mp.tag.ends_packet();
+            self.partial.entry(fid).or_default().push(mp);
+            if !ends {
+                continue;
+            }
+            let mps = self.partial.remove(&fid).expect("entry just touched");
+            let frame = Mp::reassemble(&mps);
+            match owner_of(&frame, self.n) {
+                Some(dest) if dest != self.k => {
+                    out.push((dest, done + SWITCH_LATENCY_PS, frame));
+                    self.switched += 1;
+                }
+                _ => {
+                    self.switch_drops += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Queues a switched frame for this member's uplink source.
+    fn enqueue_uplink(&self, at: Time, frame: Frame) {
+        self.uplink_in
+            .lock()
+            .expect("uplink queue poisoned")
+            .push_back((at, frame));
+    }
+}
+
+impl Shard for MemberShard {
+    type Msg = Frame;
+
+    fn next_time(&self) -> Option<Time> {
+        self.router.next_event_time()
+    }
+
+    fn advance(&mut self, horizon: Time, out: &mut Outbox<Frame>) {
+        self.router.run_until(horizon);
+        for (dest, at, frame) in self.collect_switched() {
+            out.send(dest, at, frame);
+        }
+    }
+
+    fn deliver(&mut self, at: Time, frame: Frame) {
+        self.enqueue_uplink(at, frame);
+    }
+
+    fn flush(&mut self) {
+        self.router.poke_port(UPLINK_PORT);
+    }
+}
+
+/// Which member of an `n`-member fabric owns a frame's destination
+/// subnet.
+fn owner_of(frame: &[u8], n: usize) -> Option<usize> {
+    let eth = EthernetFrame::parse(frame).ok()?;
+    let ip = Ipv4Header::parse(eth.payload()).ok()?;
+    let b = ip.dst.to_be_bytes();
+    if b[0] != 10 {
+        return None;
+    }
+    let owner = usize::from(b[1]) / 8;
+    (owner < n).then_some(owner)
 }
 
 /// A multi-chassis router fabric.
 pub struct Fabric {
-    /// The member routers.
-    pub members: Vec<Router>,
-    uplink_in: Vec<SharedFrameQueue>,
-    /// Partial frames being reassembled from captured uplink MPs.
-    partial: Vec<HashMap<u64, Vec<Mp>>>,
-    /// Frames switched between members.
-    pub switched: u64,
-    /// Frames that arrived at the switch with no owning member.
-    pub switch_drops: u64,
+    shards: Vec<MemberShard>,
     clock: Time,
 }
 
@@ -63,8 +169,7 @@ impl Fabric {
     /// `10.(k*8 + p).0.0/16` for its eight external ports `p`; every
     /// foreign subnet routes to the uplink.
     pub fn new(n: usize, base: RouterConfig) -> Self {
-        let mut members = Vec::new();
-        let mut uplink_in = Vec::new();
+        let mut shards = Vec::new();
         for k in 0..n {
             let mut cfg = base.clone();
             // The uplink is a ninth serviced port: it takes input
@@ -95,109 +200,137 @@ impl Fabric {
             }
             // Capture uplink transmissions for the switch.
             r.ixp.hw.ports[UPLINK_PORT].tx_capture = Some(Vec::new());
-            let q = Rc::new(RefCell::new(VecDeque::new()));
+            let q = Arc::new(Mutex::new(VecDeque::new()));
             r.attach_source(
                 UPLINK_PORT,
-                Box::new(SharedQueueSource { q: Rc::clone(&q) }),
+                Box::new(SharedQueueSource { q: Arc::clone(&q) }),
             );
-            members.push(r);
-            uplink_in.push(q);
+            shards.push(MemberShard {
+                router: r,
+                k,
+                n,
+                uplink_in: q,
+                partial: HashMap::new(),
+                switched: 0,
+                switch_drops: 0,
+            });
         }
-        Self {
-            partial: (0..n).map(|_| HashMap::new()).collect(),
-            members,
-            uplink_in,
-            switched: 0,
-            switch_drops: 0,
-            clock: 0,
-        }
+        Self { shards, clock: 0 }
+    }
+
+    /// Number of member routers.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the fabric has no members.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Member router `k`.
+    pub fn member(&self, k: usize) -> &Router {
+        &self.shards[k].router
+    }
+
+    /// Member router `k`, mutably (attach sources, inspect state).
+    pub fn member_mut(&mut self, k: usize) -> &mut Router {
+        &mut self.shards[k].router
+    }
+
+    /// Iterates the member routers.
+    pub fn members(&self) -> impl Iterator<Item = &Router> {
+        self.shards.iter().map(|s| &s.router)
+    }
+
+    /// Frames switched between members.
+    pub fn switched(&self) -> u64 {
+        self.shards.iter().map(|s| s.switched).sum()
+    }
+
+    /// Frames that arrived at the switch with no owning member.
+    pub fn switch_drops(&self) -> u64 {
+        self.shards.iter().map(|s| s.switch_drops).sum()
     }
 
     /// Runs the whole fabric until `t`, stepping members in `epoch`-long
     /// slices and switching uplink traffic at each boundary. The epoch
     /// bounds the inter-chassis latency error; 0 defaults to 100 us.
+    ///
+    /// This is the legacy coarse-epoch mode: an epoch may far exceed
+    /// the real switch latency, so a frame's arrival stamp can lie in
+    /// the receiving member's past — the port primer clamps it to "now"
+    /// on injection. Sequential by construction; retained bit-for-bit
+    /// for the experiments baselined on it. [`Fabric::run_lockstep`] is
+    /// the latency-accurate (and parallelizable) mode.
     pub fn run_until(&mut self, t: Time, epoch: Time) {
         let epoch = if epoch == 0 { ms(1) / 10 } else { epoch };
         while self.clock < t {
             self.clock = (self.clock + epoch).min(t);
-            for r in &mut self.members {
-                r.run_until(self.clock);
+            for s in &mut self.shards {
+                s.router.run_until(self.clock);
             }
             self.switch_frames();
         }
     }
 
     /// Drains captured uplink MPs, reassembles frames, and injects them
-    /// into their destination members.
+    /// into their destination members (legacy-mode boundary switching;
+    /// iteration order — member, then capture order — is part of the
+    /// preserved behavior).
     fn switch_frames(&mut self) {
-        let n = self.members.len();
+        let n = self.shards.len();
         for k in 0..n {
-            let cap = self.members[k].ixp.hw.ports[UPLINK_PORT]
-                .tx_capture
-                .take()
-                .unwrap_or_default();
-            self.members[k].ixp.hw.ports[UPLINK_PORT].tx_capture = Some(Vec::new());
-            for (done, mp) in cap {
-                let fid = mp.frame_id;
-                let ends = mp.tag.ends_packet();
-                self.partial[k].entry(fid).or_default().push(mp);
-                if !ends {
-                    continue;
-                }
-                let mps = self.partial[k].remove(&fid).expect("entry just touched");
-                let frame = Mp::reassemble(&mps);
-                match self.owner_of(&frame) {
-                    Some(dest) if dest != k => {
-                        self.uplink_in[dest]
-                            .borrow_mut()
-                            .push_back((done + SWITCH_LATENCY_PS, frame));
-                        self.switched += 1;
-                    }
-                    _ => {
-                        self.switch_drops += 1;
-                    }
-                }
+            for (dest, at, frame) in self.shards[k].collect_switched() {
+                self.shards[dest].enqueue_uplink(at, frame);
             }
         }
         for k in 0..n {
-            if !self.uplink_in[k].borrow().is_empty() {
-                self.members[k].poke_port(UPLINK_PORT);
+            let nonempty = !self.shards[k]
+                .uplink_in
+                .lock()
+                .expect("uplink queue poisoned")
+                .is_empty();
+            if nonempty {
+                self.shards[k].router.poke_port(UPLINK_PORT);
             }
         }
     }
 
-    /// Which member owns a frame's destination subnet.
-    fn owner_of(&self, frame: &[u8]) -> Option<usize> {
-        let eth = EthernetFrame::parse(frame).ok()?;
-        let ip = Ipv4Header::parse(eth.payload()).ok()?;
-        let b = ip.dst.to_be_bytes();
-        if b[0] != 10 {
-            return None;
+    /// Runs the whole fabric until `t` under the conservative parallel
+    /// engine: epoch grid = [`SWITCH_LATENCY_PS`] (the cross-chassis
+    /// lookahead), `threads` ≤ 1 selects the lock-step sequential
+    /// oracle, larger counts the `Parallel` strategy. Bit-identical at
+    /// every thread count — gated by the fabric differential suite.
+    pub fn run_lockstep(&mut self, t: Time, threads: usize) -> EngineStats {
+        for s in &mut self.shards {
+            // The engine polls `next_time` before any shard advances;
+            // an unstarted router would look idle and end the run.
+            s.router.start();
         }
-        let owner = usize::from(b[1]) / 8;
-        (owner < self.members.len()).then_some(owner)
+        let stats = run_threads(threads, &mut self.shards, SWITCH_LATENCY_PS, t);
+        self.clock = self.clock.max(t);
+        stats
     }
 
     /// MPs captured from member `k`'s uplink that still await the rest
     /// of their frame (reassembly state spans epoch boundaries).
     pub fn pending_uplink_mps(&self, k: usize) -> usize {
-        self.partial[k].values().map(|v| v.len()).sum()
+        self.shards[k].partial.values().map(|v| v.len()).sum()
     }
 
     /// Total frames transmitted on external ports across all members.
     pub fn external_tx(&self) -> u64 {
-        self.members
-            .iter()
+        self.members()
             .map(|r| r.ixp.hw.ports[..8].iter().map(|p| p.tx_frames).sum::<u64>())
             .sum()
     }
 
     /// Total drops anywhere in the fabric.
     pub fn total_drops(&self) -> u64 {
-        self.switch_drops
+        self.switch_drops()
             + self
-                .members
-                .iter()
+                .members()
                 .map(|r| {
                     r.world.queues.total_drops()
                         + r.ixp
@@ -208,6 +341,26 @@ impl Fabric {
                             .sum::<u64>()
                 })
                 .sum::<u64>()
+    }
+
+    /// FNV-fold of every member's [`Router::fingerprint`] plus the
+    /// fabric-level switch counters — the one-number equality the
+    /// parallel differential suite compares across thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for s in &self.shards {
+            mix(s.router.fingerprint());
+            mix(s.switched);
+            mix(s.switch_drops);
+            mix(s.partial.values().map(|v| v.len() as u64).sum());
+        }
+        h
     }
 }
 
@@ -221,7 +374,7 @@ mod tests {
         let mut f = Fabric::new(2, RouterConfig::line_rate());
         // Member 0, port 0 receives traffic for subnet 10.9/16, owned
         // by member 1 (its external port 1).
-        f.members[0].attach_source(
+        f.member_mut(0).attach_source(
             0,
             Box::new(CbrSource::new(
                 100_000_000,
@@ -234,9 +387,9 @@ mod tests {
             )),
         );
         f.run_until(ms(40), 0);
-        assert_eq!(f.switched, 200, "all frames crossed the switch");
+        assert_eq!(f.switched(), 200, "all frames crossed the switch");
         assert_eq!(
-            f.members[1].ixp.hw.ports[1].tx_frames, 200,
+            f.member(1).ixp.hw.ports[1].tx_frames, 200,
             "delivered on the owner's external port"
         );
         assert_eq!(f.total_drops(), 0);
@@ -245,7 +398,7 @@ mod tests {
     #[test]
     fn local_traffic_never_touches_the_switch() {
         let mut f = Fabric::new(2, RouterConfig::line_rate());
-        f.members[0].attach_source(
+        f.member_mut(0).attach_source(
             0,
             Box::new(CbrSource::new(
                 100_000_000,
@@ -258,8 +411,8 @@ mod tests {
             )),
         );
         f.run_until(ms(20), 0);
-        assert_eq!(f.switched, 0);
-        assert_eq!(f.members[0].ixp.hw.ports[3].tx_frames, 100);
+        assert_eq!(f.switched(), 0);
+        assert_eq!(f.member(0).ixp.hw.ports[3].tx_frames, 100);
     }
 
     #[test]
@@ -271,7 +424,7 @@ mod tests {
         // surfaces as counted drops, never as a hang or corruption.
         let mut f = Fabric::new(2, RouterConfig::line_rate());
         for p in 0..8 {
-            f.members[0].attach_source(
+            f.member_mut(0).attach_source(
                 p,
                 Box::new(npr_traffic::CbrSource::new(
                     100_000_000,
@@ -304,7 +457,7 @@ mod tests {
         // boundary. The switch must hold their MPs in `partial` across
         // the boundary and still deliver every frame intact.
         let mut f = Fabric::new(2, RouterConfig::line_rate());
-        f.members[0].attach_source(
+        f.member_mut(0).attach_source(
             0,
             Box::new(CbrSource::new(
                 100_000_000,
@@ -330,9 +483,9 @@ mod tests {
             "2 us epochs should catch a frame mid-reassembly"
         );
         assert_eq!(f.pending_uplink_mps(0), 0, "no MPs stranded at the end");
-        assert_eq!(f.switched, 40, "every frame crossed the switch");
+        assert_eq!(f.switched(), 40, "every frame crossed the switch");
         assert_eq!(
-            f.members[1].ixp.hw.ports[1].tx_frames, 40,
+            f.member(1).ixp.hw.ports[1].tx_frames, 40,
             "every frame delivered on the owner's external port"
         );
         assert_eq!(f.total_drops(), 0);
@@ -344,7 +497,7 @@ mod tests {
         // member owns; the switch discards each frame with exactly one
         // counted drop (not zero, not double).
         let mut f = Fabric::new(2, RouterConfig::line_rate());
-        f.members[0].world.table.insert(
+        f.member_mut(0).world.table.insert(
             u32::from_be_bytes([10, 200, 0, 0]),
             16,
             NextHop {
@@ -352,7 +505,7 @@ mod tests {
                 mac: MacAddr::for_port(UPLINK_PORT as u8),
             },
         );
-        f.members[0].attach_source(
+        f.member_mut(0).attach_source(
             0,
             Box::new(CbrSource::new(
                 100_000_000,
@@ -365,10 +518,10 @@ mod tests {
             )),
         );
         f.run_until(ms(20), 0);
-        assert_eq!(f.switch_drops, 3, "one drop per unroutable frame");
-        assert_eq!(f.switched, 0);
+        assert_eq!(f.switch_drops(), 3, "one drop per unroutable frame");
+        assert_eq!(f.switched(), 0);
         assert_eq!(
-            f.members.iter().map(|m| m.ixp.hw.ports[..8].iter().map(|p| p.tx_frames).sum::<u64>()).sum::<u64>(),
+            f.members().map(|m| m.ixp.hw.ports[..8].iter().map(|p| p.tx_frames).sum::<u64>()).sum::<u64>(),
             0,
             "nothing was delivered"
         );
@@ -380,7 +533,7 @@ mod tests {
         // Every member sends to the next member's first subnet.
         for k in 0..4usize {
             let dst_net = (((k + 1) % 4) * 8) as u8;
-            f.members[k].attach_source(
+            f.member_mut(k).attach_source(
                 0,
                 Box::new(CbrSource::new(
                     100_000_000,
@@ -394,8 +547,64 @@ mod tests {
             );
         }
         f.run_until(ms(40), 0);
-        assert_eq!(f.switched, 1200);
+        assert_eq!(f.switched(), 1200);
         assert_eq!(f.external_tx(), 1200);
         assert_eq!(f.total_drops(), 0);
+    }
+
+    #[test]
+    fn lockstep_delivers_cross_traffic_with_tight_latency() {
+        // The conservative mode must move the same traffic the legacy
+        // mode does, with the switch latency honored exactly (arrival =
+        // tx completion + 2 us, never clamped).
+        let mut f = Fabric::new(2, RouterConfig::line_rate());
+        f.member_mut(0).attach_source(
+            0,
+            Box::new(CbrSource::new(
+                100_000_000,
+                0.5,
+                FrameSpec {
+                    dst: u32::from_be_bytes([10, 9, 0, 1]),
+                    ..Default::default()
+                },
+                50,
+            )),
+        );
+        f.run_lockstep(ms(20), 1);
+        assert_eq!(f.switched(), 50);
+        assert_eq!(f.member(1).ixp.hw.ports[1].tx_frames, 50);
+        assert_eq!(f.total_drops(), 0);
+    }
+
+    #[test]
+    fn lockstep_thread_counts_are_bit_identical() {
+        let build = || {
+            let mut f = Fabric::new(3, RouterConfig::line_rate());
+            for k in 0..3usize {
+                let dst_net = (((k + 1) % 3) * 8) as u8;
+                f.member_mut(k).attach_source(
+                    0,
+                    Box::new(CbrSource::new(
+                        100_000_000,
+                        0.8,
+                        FrameSpec {
+                            dst: u32::from_be_bytes([10, dst_net, 0, 1]),
+                            ..Default::default()
+                        },
+                        80,
+                    )),
+                );
+            }
+            f
+        };
+        let mut oracle = build();
+        let s1 = oracle.run_lockstep(ms(15), 1);
+        for threads in [2, 4] {
+            let mut par = build();
+            let sp = par.run_lockstep(ms(15), threads);
+            assert_eq!(par.fingerprint(), oracle.fingerprint(), "threads={threads}");
+            assert_eq!(sp, s1, "threads={threads}");
+        }
+        assert_eq!(oracle.switched(), 240);
     }
 }

@@ -18,7 +18,7 @@ use crate::world::RouterWorld;
 
 /// Signature of a Pentium forwarder: the lazily-fetched head bytes plus
 /// world access (control forwarders update routes / read monitors).
-pub type PePacketFn = Box<dyn FnMut(&mut [u8; 64], &mut RouterWorld) -> PeAction>;
+pub type PePacketFn = Box<dyn FnMut(&mut [u8; 64], &mut RouterWorld) -> PeAction + Send>;
 
 /// What a Pentium forwarder did with its packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -7,7 +7,7 @@ use crate::router::Router;
 use crate::world::RunMode;
 
 /// A measurement report over one window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     /// Window length in picoseconds.
     pub window_ps: Time,
@@ -94,7 +94,7 @@ pub struct Report {
 /// must be transmitted, claimed by exactly one terminal drop counter,
 /// or still visibly in flight. Built by [`Router::conservation`];
 /// checked continuously by the fault-injection suite.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Conservation {
     /// Packets admitted by the input process (`input_pkts`).
     pub admitted: u64,
@@ -195,6 +195,72 @@ impl Router {
             in_flight: in_flight as u64,
             stale_reads: self.world.pool.stale_reads(),
         }
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the router's observable outcome:
+    /// clock, full conservation ledger, per-port tx/drop counts,
+    /// lifetime control-plane accounting, and lifetime health decisions
+    /// (including the quarantine order). Two runs of the same scenario
+    /// under different delivery strategies must agree on this exactly —
+    /// it is the equality the parallel differential suites assert, one
+    /// number per router instead of a field-by-field walk.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.now());
+        let c = self.conservation();
+        for v in [
+            c.admitted,
+            c.transmitted,
+            c.queue_drops,
+            c.escalation_drops,
+            c.no_route_drops,
+            c.lap_losses,
+            c.sa_fwdr_drops,
+            c.pe_drops,
+            c.pe_consumed,
+            c.truncated_drops,
+            c.in_flight,
+            c.stale_reads,
+        ] {
+            mix(v);
+        }
+        for p in &self.ixp.hw.ports {
+            mix(p.tx_frames);
+            mix(p.rx_frames_dropped);
+        }
+        for v in [
+            self.ctl.submitted,
+            self.ctl.completed,
+            self.ctl.pe_cycles,
+            self.ctl.sa_cycles,
+            self.ctl.pci_bytes,
+            self.ctl.latency_sum_ps,
+        ] {
+            mix(v);
+        }
+        let hs = &self.health.stats;
+        for v in [
+            hs.epochs,
+            hs.warnings,
+            hs.throttles,
+            hs.quarantines,
+            hs.sa_resets,
+            hs.recoveries,
+        ] {
+            mix(v);
+        }
+        for &(wr, id) in &self.health.quarantined {
+            mix(wr as u64);
+            mix(u64::from(id));
+        }
+        mix(self.world.counters.vrp_traps.total());
+        h
     }
 
     /// Quiescence watchdog: after traffic ends, runs the router in

@@ -338,7 +338,7 @@ impl Router {
         );
     }
 
-    fn start(&mut self) {
+    pub(crate) fn start(&mut self) {
         if self.started {
             return;
         }
@@ -356,7 +356,20 @@ impl Router {
         }
     }
 
-    /// Runs the simulation until absolute time `t`.
+    /// Timestamp of the earliest pending event, or `None` when idle.
+    /// The delivery engine's `Shard::next_time` probe — only meaningful
+    /// after `start()` (an unstarted router looks idle).
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Runs the simulation until absolute time `t` (inclusive).
+    ///
+    /// Always single-threaded: every event crosses the shared [`Bus`]
+    /// built in `dispatch`, so one router is one sequential strand. The
+    /// parallel delivery engine (`npr_sim::delivery`) therefore shards
+    /// at the *router* granularity — whole chassis in a fabric, whole
+    /// scenarios in a sweep — never inside one (DESIGN.md §13).
     pub fn run_until(&mut self, t: Time) {
         self.start();
         // Atomic pop-with-deadline: an event beyond `t` is neither

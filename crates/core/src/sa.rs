@@ -39,7 +39,7 @@ pub const SA_WEDGE_SPREAD_PS: Time = 500_000_000;
 
 /// Signature of a StrongARM-local packet transformation: owned bytes
 /// (resizable) + metadata; `false` drops the packet.
-pub type SaPacketFn = Box<dyn FnMut(&mut Vec<u8>, &mut PktMeta) -> bool>;
+pub type SaPacketFn = Box<dyn FnMut(&mut Vec<u8>, &mut PktMeta) -> bool + Send>;
 
 /// A StrongARM-local forwarder: a jump-table entry. The forwarder owns
 /// the packet bytes for the duration of the call and may grow or shrink

@@ -113,7 +113,7 @@ impl WfqMapper {
 }
 
 /// Maps a packet's flow key to its registered WFQ flow id.
-pub type WfqClassifyFn = Box<dyn FnMut(&FlowKey) -> Option<u16>>;
+pub type WfqClassifyFn = Box<dyn FnMut(&FlowKey) -> Option<u16> + Send>;
 
 /// World-attached WFQ state: the mapper plus the flow classifier.
 pub struct WfqState {

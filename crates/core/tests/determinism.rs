@@ -40,11 +40,17 @@ impl Digest {
 
 /// The scaled-down `robust_router` scenario: flood on seven ports, a
 /// traced control stream installing routes via the Pentium on the
-/// eighth. Returns the digest over every deterministic observable.
-/// Parameterized by the VRP execution backend, which must never move
-/// the digest — the tiers are required to be bit-identical in
+/// eighth. Returns the digest over every deterministic observable,
+/// plus the measurement [`Report`] (compared whole in the repeat-run
+/// test). Parameterized by the VRP execution backend, which must never
+/// move the digest — the tiers are required to be bit-identical in
 /// simulated behavior.
-fn run_scenario(backend: VrpBackend) -> u64 {
+///
+/// Health invariants for the thread matrix are asserted inline: the
+/// monitor samples (`epochs > 0`) but never intervenes on this
+/// fault-free run (`sa_resets == quarantines == 0`), on whichever
+/// thread the scenario happens to execute.
+fn run_scenario(backend: VrpBackend) -> (u64, npr_core::Report) {
     let mut cfg = RouterConfig::line_rate();
     cfg.divert_sa_permille = 333;
     cfg.vrp_backend = backend;
@@ -170,7 +176,7 @@ fn run_scenario(backend: VrpBackend) -> u64 {
         d.u64(e.at);
         d.bytes(format!("{:?}", e.step).as_bytes());
     }
-    d.0
+    (d.0, report)
 }
 
 /// Known-good digest of `run_scenario` under the calendar-queue
@@ -180,17 +186,21 @@ const GOLDEN_DIGEST: u64 = 0x4D47_0BA7_B68A_1105;
 
 #[test]
 fn robust_router_scenario_is_bit_identical_across_runs() {
-    let a = run_scenario(VrpBackend::Compiled);
-    let b = run_scenario(VrpBackend::Compiled);
+    let (da, ra) = run_scenario(VrpBackend::Compiled);
+    let (db, rb) = run_scenario(VrpBackend::Compiled);
     assert_eq!(
-        a, b,
+        da, db,
         "two identical runs diverged: the scheduler is nondeterministic"
     );
+    // Same seed, two runs: not just the digest but the whole
+    // measurement Report (every derived rate and latency figure) must
+    // be byte-identical.
+    assert_eq!(ra, rb, "repeat run produced a different Report");
 }
 
 #[test]
 fn robust_router_scenario_matches_pinned_digest() {
-    let got = run_scenario(VrpBackend::Compiled);
+    let (got, _) = run_scenario(VrpBackend::Compiled);
     assert_eq!(
         got, GOLDEN_DIGEST,
         "schedule changed: digest {got:#018X} != pinned {GOLDEN_DIGEST:#018X} \
@@ -202,9 +212,46 @@ fn robust_router_scenario_matches_pinned_digest() {
 fn interpreter_backend_matches_the_same_pinned_digest() {
     // The backend knob must be invisible to the simulated schedule:
     // both execution tiers reproduce the same golden digest.
-    let got = run_scenario(VrpBackend::Interp);
+    let (got, _) = run_scenario(VrpBackend::Interp);
     assert_eq!(
         got, GOLDEN_DIGEST,
         "interpreter backend moved the schedule: {got:#018X}"
     );
+}
+
+/// Thread counts the golden digest is held to. Debug builds run the
+/// scenario ~10x slower, so the matrix is trimmed there; the release
+/// sweep (scripts/verify.sh) runs the full {1, 2, 4, 8}.
+const THREAD_MATRIX: &[usize] = if cfg!(debug_assertions) {
+    &[1, 2]
+} else {
+    &[1, 2, 4, 8]
+};
+
+#[test]
+fn golden_digest_holds_at_every_thread_count() {
+    // One scenario copy per worker slot of an `npr_sim::scatter`
+    // fan-out: at threads=8, eight copies run concurrently on spawned
+    // OS threads, alternating VRP backends, and every one must land on
+    // the pinned digest. The health invariants (monitor sampled,
+    // never intervened) are asserted inside `run_scenario`, so they
+    // are exercised per-thread-count too. This is the sweep-level
+    // parallelism axis; the fabric-level axis (shared lockstep clock)
+    // is pinned by `tests/parallel_differential.rs`.
+    for &threads in THREAD_MATRIX {
+        let digests = npr_sim::scatter(threads, threads, |i| {
+            let backend = if i % 2 == 0 {
+                VrpBackend::Compiled
+            } else {
+                VrpBackend::Interp
+            };
+            run_scenario(backend).0
+        });
+        for (i, d) in digests.iter().enumerate() {
+            assert_eq!(
+                *d, GOLDEN_DIGEST,
+                "worker {i} at threads={threads} moved the digest: {d:#018X}"
+            );
+        }
+    }
 }

@@ -120,7 +120,11 @@ pub struct Env<'a, W> {
 }
 
 /// A context program: a resumable state machine.
-pub trait CtxProgram<W> {
+///
+/// `Send` so a whole chip (and the router embedding it) can move to a
+/// worker thread under `npr_sim::delivery`; a program is only ever run
+/// by the thread that owns its machine.
+pub trait CtxProgram<W>: Send {
     /// Advances the program and returns the next operation. The machine
     /// guarantees `resume` is called exactly once per completed op.
     fn resume(&mut self, env: &mut Env<'_, W>) -> Op;

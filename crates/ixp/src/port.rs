@@ -24,13 +24,16 @@ pub type PortId = usize;
 /// appear on the wire, plus the frame bytes. Returning `None` ends the
 /// stream. Sources are pulled one frame ahead of the wire, so they may
 /// generate frames lazily.
-pub trait TrafficSource {
+/// `Send` so a port (and the chip owning it) can move across worker
+/// threads under `npr_sim::delivery`; a source is only ever pulled by
+/// the thread that owns its port.
+pub trait TrafficSource: Send {
     /// Produces the next frame, or `None` when the stream ends.
     fn next_frame(&mut self) -> Option<(Time, Frame)>;
 }
 
 /// Blanket impl so closures can be used as sources in tests.
-impl<F: FnMut() -> Option<(Time, Frame)>> TrafficSource for F {
+impl<F: FnMut() -> Option<(Time, Frame)> + Send> TrafficSource for F {
     fn next_frame(&mut self) -> Option<(Time, Frame)> {
         self()
     }

@@ -13,7 +13,13 @@
 //! [`EventQueue`] is a hierarchical calendar queue; the original binary
 //! heap survives as [`OracleQueue`], the reference implementation the
 //! calendar is differentially tested against (DESIGN.md §6).
+//!
+//! [`delivery`] adds conservative parallel execution over [`Shard`]s
+//! behind the [`Delivery`] strategy trait; [`Sequential`] is the
+//! lock-step oracle every parallel run must match bit-for-bit
+//! (DESIGN.md §13).
 
+pub mod delivery;
 pub mod fault;
 pub mod queue;
 pub mod rng;
@@ -21,6 +27,10 @@ pub mod server;
 pub mod stats;
 pub mod time;
 
+pub use delivery::{
+    auto_threads, run as run_shards, run_threads, scatter, Delivery, EngineStats, Outbox,
+    Parallel, Sequential, Shard,
+};
 pub use fault::{FaultClass, FaultPlan};
 pub use queue::{CalendarQueue, EventQueue, OracleQueue};
 pub use rng::XorShift64;

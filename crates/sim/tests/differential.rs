@@ -246,6 +246,98 @@ proptest! {
     }
 }
 
+/// Overflow-spill refill ordering: events parked in the spill heap
+/// (scheduled beyond the wheel horizon) must, after migrating back
+/// into the wheel, still interleave in global `(at, seq)` FIFO order
+/// with events scheduled directly into the refilled region later. The
+/// parallel delivery engine leans on exactly this — a barrier delivers
+/// messages into a region the wheel has not reached yet, then local
+/// work schedules into the same region.
+#[test]
+fn overflow_spill_refill_preserves_global_fifo_order() {
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut ora: OracleQueue<u64> = OracleQueue::new();
+    let far = 2 * HORIZON + 5;
+    // Values 0 and 1 spill (same far timestamp, insertion order 0, 1).
+    for v in [0u64, 1] {
+        cal.schedule(far, v);
+        ora.schedule(far, v);
+    }
+    // A near event keeps the wheel busy below the spill region.
+    cal.schedule(10, 2);
+    ora.schedule(10, 2);
+    assert_eq!(cal.pop(), Some((10, 2)));
+    assert_eq!(ora.pop(), Some((10, 2)));
+    // First spilled event comes back: the wheel had to jump into the
+    // spill region and refill from the overflow heap.
+    assert_eq!(cal.pop(), Some((far, 0)));
+    assert_eq!(ora.pop(), Some((far, 0)));
+    // Now schedule a *new* event at the same timestamp: it must lose
+    // the tie to the still-queued refilled event (older seq), in both
+    // queues.
+    cal.schedule(far, 3);
+    ora.schedule(far, 3);
+    assert_eq!(cal.pop(), Some((far, 1)), "refilled event keeps its seq");
+    assert_eq!(ora.pop(), Some((far, 1)));
+    assert_eq!(cal.pop(), Some((far, 3)));
+    assert_eq!(ora.pop(), Some((far, 3)));
+    assert!(cal.is_empty() && ora.is_empty());
+}
+
+/// Dry-wheel jump across an epoch boundary: a deadline-bounded pop
+/// (the delivery engine's per-epoch drain) that ends *before* a
+/// far-future event must neither consume it nor advance the clock;
+/// the next epoch's drain must jump the dry wheel straight to it.
+#[test]
+fn dry_wheel_jump_across_an_epoch_boundary() {
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    cal.schedule(5, 0);
+    assert_eq!(cal.pop(), Some((5, 0)));
+    let far = 5 + 3 * HORIZON + 123;
+    cal.schedule(far, 1);
+    // Epoch ending just shy of the event: dry drain, clock holds.
+    assert_eq!(cal.pop_if_at_or_before(far - 1), None);
+    assert_eq!(cal.now(), 5, "a refused pop must not advance the clock");
+    assert_eq!(cal.peek_time(), Some(far));
+    assert_eq!(cal.len(), 1);
+    // Next epoch covers it: the wheel jumps lap(s) ahead and delivers.
+    assert_eq!(cal.pop_if_at_or_before(far + HORIZON), Some((far, 1)));
+    assert_eq!(cal.now(), far);
+    assert!(cal.is_empty());
+}
+
+/// `pop_if_at_or_before` at the exact lookahead horizon: the deadline
+/// is inclusive (mirroring `Router::run_until`), so an event *at* the
+/// epoch horizon executes in that epoch — the invariant the delivery
+/// engine's conservative proof is phrased against ("arrivals land
+/// strictly after the horizon", hence never in the epoch that emitted
+/// them).
+#[test]
+fn pop_if_at_or_before_is_inclusive_at_the_exact_horizon() {
+    let horizon = 7 * BUCKET; // An epoch boundary on the test grid.
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut ora: OracleQueue<u64> = OracleQueue::new();
+    for (at, v) in [(horizon - 1, 0u64), (horizon, 1), (horizon, 2), (horizon + 1, 3)] {
+        cal.schedule(at, v);
+        ora.schedule(at, v);
+    }
+    for q_pops in [
+        [Some((horizon - 1, 0)), Some((horizon, 1)), Some((horizon, 2)), None],
+    ] {
+        for (i, expect) in q_pops.into_iter().enumerate() {
+            assert_eq!(cal.pop_if_at_or_before(horizon), expect, "pop {i}");
+            assert_eq!(ora.pop_if_at_or_before(horizon), expect, "oracle pop {i}");
+        }
+    }
+    // The first event of the next epoch is untouched and the clock sits
+    // exactly on the horizon.
+    assert_eq!(cal.now(), horizon);
+    assert_eq!(ora.now(), horizon);
+    assert_eq!(cal.peek_time(), Some(horizon + 1));
+    assert_eq!(cal.pop_if_at_or_before(horizon + 1), Some((horizon + 1, 3)));
+    assert_eq!(ora.pop_if_at_or_before(horizon + 1), Some((horizon + 1, 3)));
+}
+
 /// The tie-break contract stated directly (not just "same as oracle"):
 /// equal timestamps pop in insertion order.
 #[test]

@@ -16,7 +16,7 @@ fn main() {
     // the internal gigabit links.
     for k in 0..4usize {
         let dst_net = (((k + 1) % 4) * 8 + 2) as u8;
-        fabric.members[k].attach_source(
+        fabric.member_mut(k).attach_source(
             0,
             Box::new(CbrSource::new(
                 100_000_000,
@@ -29,7 +29,7 @@ fn main() {
             )),
         );
         // Plus a local stream that must never touch the switch.
-        fabric.members[k].attach_source(
+        fabric.member_mut(k).attach_source(
             1,
             Box::new(CbrSource::new(
                 100_000_000,
@@ -46,7 +46,7 @@ fn main() {
     fabric.run_until(ms(60), 0);
 
     println!("=== 4-chassis fabric ===");
-    println!("frames switched between chassis : {}", fabric.switched);
+    println!("frames switched between chassis : {}", fabric.switched());
     println!(
         "frames delivered on external ports: {}",
         fabric.external_tx()
@@ -55,14 +55,14 @@ fn main() {
         "drops anywhere                   : {}",
         fabric.total_drops()
     );
-    for (k, m) in fabric.members.iter().enumerate() {
+    for (k, m) in fabric.members().enumerate() {
         let up = &m.ixp.hw.ports[npr_core::fabric::UPLINK_PORT];
         println!(
             "member {k}: uplink tx {} rx {} frames",
             up.tx_frames, up.rx_frames
         );
     }
-    assert_eq!(fabric.switched, 16_000);
+    assert_eq!(fabric.switched(), 16_000);
     assert_eq!(fabric.external_tx(), 24_000);
     assert_eq!(fabric.total_drops(), 0);
     println!("OK: cross-chassis forwarding at line rate with zero loss.");

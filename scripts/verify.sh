@@ -73,12 +73,60 @@ if ! echo "$backend_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; the
     exit 1
 fi
 
+# The parallel-delivery differential gates: the conservative parallel
+# engine must match the lock-step sequential oracle bit-for-bit, first
+# at the engine level (npr-sim: seeded scenario generator plus the
+# fault corpus, threads 2/4/8), then at the router level (npr-core:
+# real fabrics under the full 8-class corpus, plus scatter sweeps).
+# Release, so the full proptest case counts run; zero tests executed
+# fails either gate.
+par_sim_out="$(cargo test -q --release --offline -p npr-sim --test parallel_differential 2>&1)" || {
+    echo "$par_sim_out"
+    echo "ERROR: engine parallel differential suite failed" >&2
+    exit 1
+}
+echo "$par_sim_out"
+if ! echo "$par_sim_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+    echo "ERROR: engine parallel differential suite ran zero tests" >&2
+    exit 1
+fi
+par_core_out="$(cargo test -q --release --offline -p npr-core --test parallel_differential 2>&1)" || {
+    echo "$par_core_out"
+    echo "ERROR: router parallel differential suite failed" >&2
+    exit 1
+}
+echo "$par_core_out"
+if ! echo "$par_core_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+    echo "ERROR: router parallel differential suite ran zero tests" >&2
+    exit 1
+fi
+
 # Record the scheduler perf baseline: events/sec (calendar vs oracle)
 # and per-experiment wall-clock, plus the VRP backend axis (service
 # corpus + forwarder-heavy throughput on both tiers and the compiled
-# speedup). simbench exits nonzero if the calendar queue diverges from
-# the oracle or if the VRP backends diverge on its fuzz sweep.
+# speedup), and the parallel `threads` axis (fault-sweep wall-clock at
+# 1/2/4/8 worker threads). simbench exits nonzero if the calendar
+# queue diverges from the oracle, if the VRP backends diverge on its
+# fuzz sweep, or if the parallel fault sweep is not bit-identical to
+# the sequential one.
 cargo run --release --offline --bin simbench -- --quick --out BENCH_sim.json
+
+# Parallel fault-sweep speedup gate: on hosts with at least 4 cores
+# the threaded sweep must beat the sequential one by at least 2x
+# (bit-equality is enforced by simbench itself before it emits any
+# number). On smaller hosts the physical core count is the honest
+# ceiling — the wall-clocks are still recorded with host_cores
+# alongside, but no speedup is demanded of hardware that cannot
+# provide one.
+host_cores="$(grep -o '"host_cores": [0-9]*' BENCH_sim.json | grep -o '[0-9]*$')"
+sweep_speedup="$(grep -o '"speedup_max": [0-9.]*' BENCH_sim.json | grep -o '[0-9.]*$')"
+if [ "${host_cores:-1}" -ge 4 ]; then
+    if ! awk -v s="$sweep_speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+        echo "ERROR: parallel fault-sweep speedup ${sweep_speedup}x < 2x on ${host_cores} cores" >&2
+        exit 1
+    fi
+fi
+echo "parallel sweep: speedup_max=${sweep_speedup}x on ${host_cores} host cores"
 
 # The fault-injection suite is the robustness gate: run it explicitly
 # in release so the full 64-seeded-scenarios-per-class sweep executes
@@ -98,17 +146,26 @@ fi
 # once; conservation must hold, no StrongARM stall may outlive the
 # health watchdog's detection bound, and the whole run is capped on
 # wall clock. Run in release so the full 20 ms horizon executes, and
-# fail if it ran zero tests.
-soak_out="$(cargo test -q --release --offline -p npr-core --test soak 2>&1)" || {
+# fail if it ran zero tests. The suite runs twice — once under the
+# sequential oracle and once at the host's thread ceiling (capped at
+# 8) — so the fabric soak exercises the parallel engine too; when
+# threaded it checks itself against the oracle fingerprint in-process.
+soak_threads="$(nproc 2>/dev/null || echo 1)"
+[ "$soak_threads" -le 8 ] || soak_threads=8
+soak_counts="1"
+[ "$soak_threads" -eq 1 ] || soak_counts="1 $soak_threads"
+for nt in $soak_counts; do
+    soak_out="$(NPR_SIM_THREADS=$nt cargo test -q --release --offline -p npr-core --test soak 2>&1)" || {
+        echo "$soak_out"
+        echo "ERROR: chaos-soak gate failed at NPR_SIM_THREADS=$nt" >&2
+        exit 1
+    }
     echo "$soak_out"
-    echo "ERROR: chaos-soak gate failed" >&2
-    exit 1
-}
-echo "$soak_out"
-if ! echo "$soak_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
-    echo "ERROR: chaos-soak gate ran zero tests" >&2
-    exit 1
-fi
+    if ! echo "$soak_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+        echo "ERROR: chaos-soak gate ran zero tests at NPR_SIM_THREADS=$nt" >&2
+        exit 1
+    fi
+done
 
 # Record the graceful-degradation curves (Mpps vs fault rate per
 # injector class; seed-fixed, so the file is reproducible).
