@@ -232,15 +232,19 @@ fn bench_extensions(c: &mut Criterion) {
             lvl
         })
     });
-    // Trie rebuild (the control plane's route-update cost).
-    g.bench_function("trie_rebuild_500_routes", |b| {
+    // Trie churn (the control plane's route-update cost): withdraw and
+    // re-announce one /24 against a 500-route table, exercising the
+    // targeted span repair and node free lists.
+    g.bench_function("trie_churn_500_routes", |b| {
         let mut t = npr_route::PrefixTrie::ipv4_default();
         for i in 0..500u32 {
             t.insert(i << 12, 24, i);
         }
+        let mut i = 0u32;
         b.iter(|| {
-            t.rebuild();
-            t.route_count()
+            i = (i + 1) % 500;
+            t.remove(i << 12, 24);
+            t.insert(i << 12, 24, i)
         })
     });
     g.finish();

@@ -1,0 +1,411 @@
+//! Internet-scale routing: lookup scaling, cache behaviour under
+//! Zipf-popularity traffic, and route-churn storms.
+//!
+//! The paper's router carries a handful of routes; a deployable
+//! software router carries a full BGP table. Three questions decide
+//! whether the design survives that jump:
+//!
+//! 1. **Lookup scaling** — does the multibit trie hold its rate from
+//!    1 k to 1 M prefixes, and what does the arena cost in bytes? This
+//!    sweep is host wall-clock (the trie runs on the StrongARM as real
+//!    code, not simulated cycles), so the Mpps numbers are indicative,
+//!    not gated.
+//! 2. **Cache hit rate** — the 4096-slot route cache fronting the trie
+//!    lives or dies by flow popularity. Zipf-ranked destinations over a
+//!    generated table measure the hit rate the StrongARM miss path
+//!    actually sees. Deterministic (simulated), so verify.sh gates it.
+//! 3. **Churn storms** — a stream of route updates arriving through the
+//!    control plane at line-rate forwarding. Full-flush invalidation
+//!    (the pinned-digest default) pays with the whole cache per update;
+//!    targeted invalidation keeps unrelated slots warm. The per-window
+//!    curves quantify exactly what the `Invalidation::Targeted` knob
+//!    buys.
+
+use npr_core::pe::PeAction;
+use npr_core::{ms, InstallRequest, Key, Router, RouterConfig};
+use npr_route::gen::{sample_dsts, synth_table, TableSpec};
+use npr_route::{Invalidation, RoutingTable};
+use npr_sim::{Time, XorShift64, PS_PER_SEC};
+use npr_traffic::{FrameSpec, ZipfSource};
+
+/// Prefix counts for the lookup-scaling sweep.
+pub const SCALE_SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Zipf exponents for the hit-rate sweep.
+pub const ZIPF_ALPHAS: [f64; 3] = [0.8, 1.0, 1.2];
+
+/// Route-update rates (per second) for the churn storm.
+pub const CHURN_RATES: [u64; 3] = [1_000, 10_000, 100_000];
+
+/// Synthetic-table size for the simulated (Zipf / churn) experiments.
+/// Full-table scale is covered by the host-side sweep and the release
+/// smoke test; at simulated line rate a 4 ms window carries ~5 k
+/// packets, so a 10 k-prefix table already dwarfs the traffic sample.
+pub const SIM_ROUTES: usize = 10_000;
+
+/// Ranked-destination universe offered to the cache experiments.
+pub const ZIPF_DSTS: usize = 8_192;
+
+/// Per-port offered rate for the cache experiments (the paper's 95%
+/// tulip source, packets per second).
+pub const ZIPF_PPS: f64 = 141_000.0;
+
+/// One point of the lookup-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Prefixes requested from the generator.
+    pub prefixes: usize,
+    /// Prefixes actually installed (bands saturate honestly at 1 M).
+    pub routes: usize,
+    /// Host wall-clock lookups per second, millions.
+    pub lookup_mpps: f64,
+    /// Trie arena footprint in bytes.
+    pub trie_bytes: usize,
+    /// Mean trie levels touched per lookup (the SRAM-transfer count the
+    /// StrongARM miss path pays).
+    pub mean_levels: f64,
+}
+
+/// One point of the Zipf hit-rate sweep.
+#[derive(Debug, Clone)]
+pub struct ZipfPoint {
+    /// Zipf exponent.
+    pub alpha: f64,
+    /// Route-cache hit rate over the measurement window.
+    pub hit_rate: f64,
+    /// Forwarded Mpps over the window.
+    pub forward_mpps: f64,
+}
+
+/// One point of the churn-storm sweep.
+#[derive(Debug, Clone)]
+pub struct ChurnPoint {
+    /// `true` = targeted invalidation, `false` = full flush.
+    pub targeted: bool,
+    /// Route updates per second pushed through the control plane.
+    pub updates_per_s: u64,
+    /// Control ops that actually crossed the PCI bus in the window.
+    pub ctl_ops: u64,
+    /// Route-cache hit rate over the window.
+    pub hit_rate: f64,
+    /// Forwarded Mpps over the window.
+    pub forward_mpps: f64,
+}
+
+/// All three sweeps.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// Lookup rate vs table size (host wall-clock).
+    pub scaling: Vec<ScalePoint>,
+    /// Cache hit rate vs Zipf exponent (simulated, deterministic).
+    pub zipf: Vec<ZipfPoint>,
+    /// Hit rate and rate vs churn, full-flush vs targeted (simulated).
+    pub churn: Vec<ChurnPoint>,
+}
+
+/// Measures raw trie lookups per second at each table size. Host
+/// wall-clock: this is the one number in the harness that depends on
+/// the build machine, which is why verify.sh never gates it.
+pub fn lookup_scaling(sizes: &[usize]) -> Vec<ScalePoint> {
+    const LOOKUPS: usize = 1 << 21;
+    sizes
+        .iter()
+        .map(|&n| {
+            let routes = synth_table(&TableSpec::internet(n, 0x5CA1_AB1E));
+            let mut table = RoutingTable::with_config(&[16, 8, 8], 4096, Invalidation::Targeted);
+            table.load(routes.iter().cloned());
+            let dsts = sample_dsts(&routes, 1 << 16, 11);
+            let mut acc = 0u64;
+            // Warm pass so first-touch page faults stay out of the timing.
+            for &d in &dsts {
+                acc ^= u64::from(table.lookup_slow(d).1);
+            }
+            let reps = LOOKUPS / dsts.len();
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                for &d in &dsts {
+                    acc ^= u64::from(table.lookup_slow(d).1);
+                }
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(acc);
+            let stats = table.trie_stats();
+            ScalePoint {
+                prefixes: n,
+                routes: routes.len(),
+                lookup_mpps: (reps * dsts.len()) as f64 / secs / 1e6,
+                trie_bytes: stats.bytes,
+                mean_levels: table.mean_lookup_levels(),
+            }
+        })
+        .collect()
+}
+
+/// A line-rate router preloaded with the synthetic table, all eight
+/// ports offered Zipf-ranked destinations drawn from that table.
+fn zipf_router(alpha: f64, invalidation: Invalidation) -> Router {
+    let mut cfg = RouterConfig::line_rate();
+    cfg.synthetic_routes = SIM_ROUTES;
+    cfg.route_invalidation = invalidation;
+    let spec = TableSpec {
+        prefixes: cfg.synthetic_routes,
+        seed: cfg.synthetic_route_seed,
+        ports: cfg.ports_in_use as u8,
+        neighbors_per_port: 4,
+    };
+    // Regenerate the router's own table host-side (same spec, same
+    // seed) to rank destinations that actually resolve through it.
+    let dsts = sample_dsts(&synth_table(&spec), ZIPF_DSTS, 13);
+    let mut r = Router::new(cfg);
+    for p in 0..8 {
+        r.attach_source(
+            p,
+            Box::new(ZipfSource::new(
+                FrameSpec::default(),
+                ZIPF_PPS,
+                dsts.clone(),
+                alpha,
+                0xD5 + p as u64,
+                u64::MAX,
+            )),
+        );
+    }
+    r
+}
+
+/// Cache hit rate under Zipf mixes: quiet control plane, sweep alpha.
+pub fn zipf_hit_rate(warmup: Time, window: Time) -> Vec<ZipfPoint> {
+    ZIPF_ALPHAS
+        .iter()
+        .map(|&alpha| {
+            let mut r = zipf_router(alpha, Invalidation::FullFlush);
+            r.run_until(warmup);
+            r.mark();
+            let _ = r.world.table.take_cache_stats();
+            r.run_until(warmup + window);
+            let rep = r.report();
+            let (h, m) = r.world.table.take_cache_stats();
+            ZipfPoint {
+                alpha,
+                hit_rate: h as f64 / (h + m).max(1) as f64,
+                forward_mpps: rep.forward_mpps,
+            }
+        })
+        .collect()
+}
+
+/// The churn storm: route updates stream down the control plane while
+/// line-rate Zipf traffic runs, once per invalidation mode and update
+/// rate. Each update rides a `setdata` descriptor (prefix, plen, new
+/// port — 6 bytes) to a resident route-updater on the Pentium, then
+/// rebinds one existing prefix to its next neighbor on the same port,
+/// which invalidates per the configured mode.
+pub fn churn_storm(warmup: Time, window: Time) -> Vec<ChurnPoint> {
+    let spec = TableSpec::internet(SIM_ROUTES, RouterConfig::line_rate().synthetic_route_seed);
+    let routes = synth_table(&spec);
+    let nbrs = npr_route::gen::neighbors(&spec);
+    let mut out = Vec::new();
+    for mode in [Invalidation::FullFlush, Invalidation::Targeted] {
+        for &ups in &CHURN_RATES {
+            let mut r = zipf_router(1.0, mode);
+            let updater = r
+                .install(
+                    Key::Flow(npr_core::FlowKey {
+                        src: 0x0909_0909,
+                        dst: 0x0909_0909,
+                        sport: 9,
+                        dport: 9,
+                    }),
+                    InstallRequest::Pe {
+                        name: "route-updater".into(),
+                        cycles: 1_000,
+                        tickets: 100,
+                        expected_pps: 1_000,
+                        f: Box::new(|_, _| PeAction::Consume),
+                    },
+                    None,
+                )
+                .expect("updater admits");
+            r.run_until(warmup);
+            r.mark();
+            let _ = r.world.table.take_cache_stats();
+            let interval = PS_PER_SEC / ups;
+            let t_end = warmup + window;
+            let mut t = warmup;
+            let mut next_update = t;
+            let mut rng = XorShift64::new(0xC0DE ^ ups);
+            while t < t_end {
+                if t >= next_update {
+                    next_update = t + interval;
+                    let i = (rng.next_u64() % routes.len() as u64) as usize;
+                    let route = &routes[i];
+                    // Rebind the prefix to the port's next neighbor: a
+                    // same-port next-hop change, the common BGP case.
+                    let cur = r.world.table.lookup_slow(route.addr).0.expect("route exists");
+                    let slot = nbrs.iter().position(|n| *n == cur).unwrap_or(0);
+                    let per = usize::from(spec.neighbors_per_port);
+                    let next = nbrs[(slot / per) * per + (slot + 1) % per];
+                    let mut payload = route.addr.to_be_bytes().to_vec();
+                    payload.push(route.plen);
+                    payload.push(next.port);
+                    r.setdata(updater, &payload).expect("updater installed");
+                    r.world.table.insert(route.addr, route.plen, next);
+                }
+                t = next_update.min(t_end);
+                r.run_until(t);
+            }
+            let rep = r.report();
+            let (h, m) = r.world.table.take_cache_stats();
+            out.push(ChurnPoint {
+                targeted: mode == Invalidation::Targeted,
+                updates_per_s: ups,
+                ctl_ops: rep.ctl_ops,
+                hit_rate: h as f64 / (h + m).max(1) as f64,
+                forward_mpps: rep.forward_mpps,
+            });
+        }
+    }
+    out
+}
+
+/// Runs all three sweeps. The simulated sweeps use a longer window than
+/// the default so the hit-rate sample is a few tens of thousands of
+/// packets rather than a few thousand.
+pub fn route_experiment() -> RouteResult {
+    RouteResult {
+        scaling: lookup_scaling(&SCALE_SIZES),
+        zipf: zipf_hit_rate(ms(2), ms(20)),
+        churn: churn_storm(ms(2), ms(20)),
+    }
+}
+
+/// Renders `BENCH_route.json` (hand-formatted, stable keys, no deps).
+pub fn route_json(r: &RouteResult) -> String {
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": 1,\n  \"scaling\": [\n");
+    for (i, p) in r.scaling.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"prefixes\": {}, \"routes\": {}, \"lookup_mpps\": {:.2}, \
+             \"trie_bytes\": {}, \"mean_levels\": {:.3}}}{}\n",
+            p.prefixes,
+            p.routes,
+            p.lookup_mpps,
+            p.trie_bytes,
+            p.mean_levels,
+            if i + 1 < r.scaling.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n  \"zipf\": [\n");
+    for (i, p) in r.zipf.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"alpha\": {:.2}, \"hit_rate\": {:.4}, \"forward_mpps\": {:.4}}}{}\n",
+            p.alpha,
+            p.hit_rate,
+            p.forward_mpps,
+            if i + 1 < r.zipf.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n  \"churn\": [\n");
+    for (i, p) in r.churn.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"updates_per_s\": {}, \"ctl_ops\": {}, \
+             \"hit_rate\": {:.4}, \"forward_mpps\": {:.4}}}{}\n",
+            if p.targeted { "targeted" } else { "full_flush" },
+            p.updates_per_s,
+            p.ctl_ops,
+            p.hit_rate,
+            p.forward_mpps,
+            if i + 1 < r.churn.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ]\n}\n");
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_tables_scale_and_report_bytes() {
+        let pts = lookup_scaling(&[1_000, 10_000]);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.lookup_mpps > 0.0);
+            assert!(p.routes >= p.prefixes * 9 / 10);
+            assert!(p.mean_levels >= 1.0 && p.mean_levels <= 3.0);
+        }
+        assert!(pts[1].trie_bytes > pts[0].trie_bytes);
+    }
+
+    #[test]
+    fn zipf_traffic_keeps_the_cache_warm() {
+        let pts = zipf_hit_rate(ms(1), ms(4));
+        assert_eq!(pts.len(), ZIPF_ALPHAS.len());
+        for p in &pts {
+            // Misses divert to the StrongARM, so sub-line throughput is
+            // the expected cost of the cold tail — but over half the
+            // offered load must still make it through the fast path.
+            assert!(p.forward_mpps > 0.5, "throughput under Zipf: {:.3}", p.forward_mpps);
+        }
+        // Heavier-tailed popularity must cache better.
+        assert!(pts[2].hit_rate > pts[0].hit_rate);
+        assert!(pts[1].hit_rate > 0.5, "alpha=1 hit rate {:.3}", pts[1].hit_rate);
+    }
+
+    #[test]
+    fn targeted_invalidation_survives_the_storm() {
+        let pts = churn_storm(ms(1), ms(4));
+        assert_eq!(pts.len(), 2 * CHURN_RATES.len());
+        for p in &pts {
+            assert!(p.ctl_ops > 0, "updates must cross the control plane");
+            assert!(p.forward_mpps > 0.0);
+        }
+        // At the heaviest churn, targeted invalidation must beat the
+        // full flush on both hit rate and throughput — that is the
+        // knob's whole point.
+        let flush = &pts[CHURN_RATES.len() - 1];
+        let targeted = &pts[2 * CHURN_RATES.len() - 1];
+        assert!(!flush.targeted && targeted.targeted);
+        assert!(
+            targeted.hit_rate > flush.hit_rate && targeted.forward_mpps > flush.forward_mpps,
+            "targeted {:.4}/{:.3} <= flush {:.4}/{:.3} at {} ups",
+            targeted.hit_rate,
+            targeted.forward_mpps,
+            flush.hit_rate,
+            flush.forward_mpps,
+            flush.updates_per_s
+        );
+    }
+
+    #[test]
+    fn route_json_is_well_formed() {
+        let j = route_json(&RouteResult {
+            scaling: vec![ScalePoint {
+                prefixes: 1000,
+                routes: 1000,
+                lookup_mpps: 10.0,
+                trie_bytes: 524288,
+                mean_levels: 1.5,
+            }],
+            zipf: vec![ZipfPoint {
+                alpha: 1.0,
+                hit_rate: 0.9,
+                forward_mpps: 1.1,
+            }],
+            churn: vec![ChurnPoint {
+                targeted: true,
+                updates_per_s: 1000,
+                ctl_ops: 4,
+                hit_rate: 0.8,
+                forward_mpps: 1.1,
+            }],
+        });
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("}\n"));
+        assert!(j.contains("\"hit_rate\": 0.9000"));
+        assert!(j.contains("\"mode\": \"targeted\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

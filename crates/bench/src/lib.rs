@@ -19,6 +19,7 @@ pub mod exp_faults;
 pub mod exp_figures;
 pub mod exp_recovery;
 pub mod exp_robustness;
+pub mod exp_route;
 pub mod exp_tables;
 pub mod fmt;
 
@@ -31,6 +32,7 @@ pub use exp_faults::{
 pub use exp_figures::{fig10, fig7, fig9, Fig10Point, Fig7Result, Fig9Series};
 pub use exp_recovery::{recovery, recovery_json, RecoveryResult, RECOVERY_SEED};
 pub use exp_robustness::{budget, flood, linerate, robustness, slowpath, strongarm};
+pub use exp_route::{route_experiment, route_json, RouteResult};
 pub use exp_tables::{table1, table2, table3, table4, table5_rows, PaperVsMeasured};
 
 /// Default warmup for measurement windows (simulated time).

@@ -8,14 +8,15 @@
 //!   faults [--out PATH]
 //!   control [--out PATH]
 //!   recovery [--out PATH]
+//!   route [--out PATH]
 //!   all
 //! ```
 
 use npr_bench::fmt;
 use npr_bench::{
     baseline, budget, control_json, control_storm, curves_json, fault_curves, fig10, fig7, fig9,
-    flood, linerate, recovery, recovery_json, robustness, slowpath, strongarm, table1, table2,
-    table3, table4, table5_rows, DEGRADE_RATES, WARMUP, WINDOW,
+    flood, linerate, recovery, recovery_json, robustness, route_experiment, route_json, slowpath,
+    strongarm, table1, table2, table3, table4, table5_rows, DEGRADE_RATES, WARMUP, WINDOW,
 };
 use npr_forwarders::PadKind;
 
@@ -35,6 +36,8 @@ fn main() {
              \n                                       (PATH gets the JSON)\
              \n  recovery [--out PATH]                health-monitor fault detection and\
              \n                                       recovery episodes (PATH gets the JSON)\
+             \n  route [--out PATH]                   internet-scale lookup, Zipf cache\
+             \n                                       hit rate, churn storms (PATH gets JSON)\
              \n  all                                  everything (default)\n\
              \nSee also the `ablations` binary for beyond-the-paper studies."
         );
@@ -276,6 +279,49 @@ fn main() {
             .and_then(|i| args.get(i + 1))
         {
             std::fs::write(p, recovery_json(&results)).expect("write BENCH_recovery.json");
+            eprintln!("wrote {p}");
+        }
+    }
+    if all || which == "route" {
+        let r = route_experiment();
+        println!("\n== Internet-scale routing: trie scaling, Zipf cache, churn ==");
+        println!(
+            "{:>10} {:>10} {:>12} {:>12} {:>8}",
+            "prefixes", "routes", "lookup Mpps", "trie MiB", "levels"
+        );
+        for p in &r.scaling {
+            println!(
+                "{:>10} {:>10} {:>12.1} {:>12.2} {:>8.3}",
+                p.prefixes,
+                p.routes,
+                p.lookup_mpps,
+                p.trie_bytes as f64 / (1024.0 * 1024.0),
+                p.mean_levels
+            );
+        }
+        for p in &r.zipf {
+            println!(
+                "zipf alpha {:.2}: hit rate {:.4} at {:.3} Mpps",
+                p.alpha, p.hit_rate, p.forward_mpps
+            );
+        }
+        for p in &r.churn {
+            println!(
+                "churn {:>6}/s {:<10}: hit rate {:.4} at {:.3} Mpps ({} ctl ops)",
+                p.updates_per_s,
+                if p.targeted { "targeted" } else { "full-flush" },
+                p.hit_rate,
+                p.forward_mpps,
+                p.ctl_ops
+            );
+        }
+        println!("(targeted invalidation must hold the hit rate full flushes forfeit)");
+        if let Some(p) = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+        {
+            std::fs::write(p, route_json(&r)).expect("write BENCH_route.json");
             eprintln!("wrote {p}");
         }
     }

@@ -14,6 +14,8 @@
 use std::collections::HashMap;
 
 use npr_ixp::HashUnit;
+use npr_route::classify::{ClassRule, ClassifyCost, ClassifyError, PktKey5, TupleSpace};
+use npr_vrp::VrpBudget;
 
 /// A 4-tuple flow key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,11 +76,15 @@ pub struct ClassResult {
     pub general: Vec<FlowEntry>,
 }
 
-/// The classifier's flow table.
+/// The classifier's flow table, plus the tuple-space 5-tuple rule layer
+/// (`npr_route::classify`). With zero rules installed the rule layer is
+/// never consulted and costs nothing — the pre-rules fast path (and its
+/// pinned schedule digest) is unchanged.
 #[derive(Debug, Default)]
 pub struct Classifier {
     flows: HashMap<FlowKey, FlowEntry>,
     general: Vec<FlowEntry>,
+    rules: TupleSpace,
 }
 
 impl Classifier {
@@ -138,6 +144,36 @@ impl Classifier {
     /// since only one runs per packet).
     pub fn flow_entries(&self) -> impl Iterator<Item = &FlowEntry> {
         self.flows.values()
+    }
+
+    /// Installs a tuple-space 5-tuple rule, verified against the same
+    /// worst-case budget forwarders are admitted under.
+    pub fn bind_rule(&mut self, rule: ClassRule, budget: &VrpBudget) -> Result<(), ClassifyError> {
+        self.rules.insert(rule, budget)
+    }
+
+    /// Removes the rule with `id`; returns `true` if it existed.
+    pub fn unbind_rule(&mut self, id: u32) -> bool {
+        self.rules.remove(id)
+    }
+
+    /// Number of installed 5-tuple rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.rule_count()
+    }
+
+    /// Worst-case per-packet cost of the rule layer (what the fast path
+    /// charges when any rule is installed).
+    pub fn rule_cost(&self) -> ClassifyCost {
+        self.rules.cost()
+    }
+
+    /// Matches a packet's 5-tuple against the rule layer, charging the
+    /// dual hardware hash (the tuple probes fold the two hashed headers
+    /// in registers, so the hash count is flat in the tuple count).
+    pub fn match_rule(&self, key: &PktKey5, hash: &mut HashUnit) -> Option<&ClassRule> {
+        let _ = hash.hash_flow(key.src, key.dst, key.sport, key.dport);
+        self.rules.classify(key)
     }
 }
 

@@ -71,6 +71,20 @@ pub struct RouterConfig {
     pub sa_delay_loop: u64,
     /// Per-packet delay loops on the Pentium.
     pub pe_delay_loop: u64,
+    /// Multibit-trie strides for the routing table (must sum to 32).
+    /// 16-8-8 is the paper's classic IPv4 layout.
+    pub route_strides: Vec<u8>,
+    /// How a route update invalidates the fast-path cache. The default
+    /// `FullFlush` is the paper's recompute-then-swap discipline — and
+    /// the one the pinned golden schedule digest was recorded under;
+    /// `Targeted` invalidates only the covered slots so churn storms
+    /// keep their hit rate.
+    pub route_invalidation: npr_route::Invalidation,
+    /// Preload this many synthetic BGP-like prefixes (0 = none) from
+    /// `npr_route::gen` before traffic starts.
+    pub synthetic_routes: usize,
+    /// Seed for the synthetic table generator.
+    pub synthetic_route_seed: u64,
     /// Order token rings so consecutive members sit on different
     /// MicroEngines (the paper's section 3.2.2 layout). Disable as an
     /// ablation to see what naive sequential ordering costs.
@@ -170,6 +184,10 @@ impl Default for RouterConfig {
             pe_classes: 1,
             sa_delay_loop: 0,
             pe_delay_loop: 0,
+            route_strides: vec![16, 8, 8],
+            route_invalidation: npr_route::Invalidation::FullFlush,
+            synthetic_routes: 0,
+            synthetic_route_seed: 0xB6_9A_11_05,
             interleave_rings: true,
             out_batch: 16,
             route_cache_slots: 4096,

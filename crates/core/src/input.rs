@@ -279,15 +279,38 @@ impl InputLoop {
                 Default::default()
             };
 
-            // --- Route: per-flow binding, then the route cache (IPv4
-            // only; label-switched frames are routed by their
-            // forwarder's queue selection). ---
-            let bound_port = class.per_flow.and_then(|e| e.out_port);
+            // --- Tuple-space 5-tuple rules: probed only when any rule
+            // is installed; the worst-case cost (the figure admission
+            // verified) is charged like any other fast-path extension.
+            let rule_port = if w.classifier.rule_count() > 0 {
+                let cost = w.classifier.rule_cost();
+                self.vrp_cycles += cost.cycles;
+                self.vrp_sram_left += cost.sram;
+                let key5 = npr_route::classify::PktKey5 {
+                    src: fkey.src,
+                    dst: fkey.dst,
+                    sport: fkey.sport,
+                    dport: fkey.dport,
+                    proto: ip.map(|ip| u8::from(ip.proto)).unwrap_or(0),
+                };
+                w.classifier
+                    .match_rule(&key5, &mut env.hw.hash)
+                    .map(|r| r.out_port)
+            } else {
+                None
+            };
+
+            // --- Route: per-flow binding, then rule binding, then the
+            // route cache (IPv4 only; label-switched frames are routed
+            // by their forwarder's queue selection). A cache hit yields
+            // the full next hop — port and rewrite MAC — so neighbors
+            // sharing a port cannot alias.
+            let bound_port = class.per_flow.and_then(|e| e.out_port).or(rule_port);
             let routed = match (bound_port, ip) {
                 (Some(p), _) => Some(p),
                 (None, Some(ip)) => {
                     let _ = env.hw.hash.hash(u64::from(ip.dst));
-                    w.table.lookup_fast(ip.dst)
+                    w.table.lookup_fast(ip.dst).map(|nh| nh.port)
                 }
                 (None, None) => None,
             };

@@ -123,7 +123,22 @@ impl Router {
             cfg.queue_cap,
             cfg.pool_bufs,
         );
-        world.table = npr_route::RoutingTable::new(cfg.route_cache_slots);
+        world.table = npr_route::RoutingTable::with_config(
+            &cfg.route_strides,
+            cfg.route_cache_slots,
+            cfg.route_invalidation,
+        );
+        if cfg.synthetic_routes > 0 {
+            // Preload a BGP-like table before the port routes below, so
+            // the /16 port routes win any overlap the generator drew.
+            let spec = npr_route::gen::TableSpec {
+                prefixes: cfg.synthetic_routes,
+                seed: cfg.synthetic_route_seed,
+                ports: cfg.ports_in_use as u8,
+                neighbors_per_port: 4,
+            };
+            world.table.load(npr_route::gen::synth_table(&spec));
+        }
         world.divert_pe_permille = cfg.divert_pe_permille;
         world.divert_sa_permille = cfg.divert_sa_permille;
         world.sa_pe_q = (0..cfg.pe_classes)
@@ -281,6 +296,22 @@ impl Router {
     pub fn set_vrp_pad(&mut self, prog: npr_vrp::VrpProgram) {
         let state = vec![0u8; usize::from(prog.state_bytes)];
         self.world.vrp_pad = Some((prog, state));
+    }
+
+    /// Installs a tuple-space 5-tuple classification rule, admitted
+    /// against the router's per-packet VRP budget exactly like a
+    /// forwarder: a rule whose worst-case probe sequence would blow the
+    /// MicroEngine budget is refused and the table is untouched.
+    pub fn install_rule(
+        &mut self,
+        rule: npr_route::classify::ClassRule,
+    ) -> Result<(), npr_route::classify::ClassifyError> {
+        self.world.classifier.bind_rule(rule, &self.vrp_budget)
+    }
+
+    /// Removes an installed classification rule by id.
+    pub fn remove_rule(&mut self, id: u32) -> bool {
+        self.world.classifier.unbind_rule(id)
     }
 
     /// Arms (or clears) the deterministic fault-injection plane. The

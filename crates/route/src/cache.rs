@@ -4,17 +4,24 @@
 //! based on the destination IP address. It does this using a one-cycle
 //! hardware hash of this address, and we assume a hit in a route cache"
 //! (paper, section 3.5.1). The cache is a direct-mapped table in SRAM
-//! mapping exact destination addresses to output ports; misses are
+//! mapping exact destination addresses to next-hop indices; misses are
 //! resolved by the StrongARM via the full trie, which then installs the
 //! binding.
+//!
+//! Slots carry an index into the routing table's next-hop array (not a
+//! bare port): the fast path dereferences the index for both the output
+//! port and the rewrite MAC, so two neighbors sharing a port can never
+//! alias to the wrong MAC.
 
 use npr_ixp::hash48;
 
-/// One cache slot.
+use crate::trie::mask;
+
+/// One cache slot: destination address -> next-hop index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
     addr: u32,
-    port: u8,
+    nh: u32,
     valid: bool,
 }
 
@@ -35,6 +42,8 @@ pub struct RouteCache {
     slots: Vec<Slot>,
     hits: u64,
     misses: u64,
+    epoch_hits: u64,
+    epoch_misses: u64,
 }
 
 impl RouteCache {
@@ -50,13 +59,15 @@ impl RouteCache {
             slots: vec![
                 Slot {
                     addr: 0,
-                    port: 0,
+                    nh: 0,
                     valid: false
                 };
                 size
             ],
             hits: 0,
             misses: 0,
+            epoch_hits: 0,
+            epoch_misses: 0,
         }
     }
 
@@ -64,43 +75,74 @@ impl RouteCache {
         (hash48(u64::from(addr)) as usize) & (self.slots.len() - 1)
     }
 
-    /// Looks up `addr`; records a hit or miss.
-    pub fn lookup(&mut self, addr: u32) -> Option<u8> {
+    /// Looks up `addr`; records a hit or miss. Returns the cached
+    /// next-hop index.
+    pub fn lookup(&mut self, addr: u32) -> Option<u32> {
         let i = self.index(addr);
         let s = self.slots[i];
         if s.valid && s.addr == addr {
             self.hits += 1;
-            Some(s.port)
+            self.epoch_hits += 1;
+            Some(s.nh)
         } else {
             self.misses += 1;
+            self.epoch_misses += 1;
             None
         }
     }
 
     /// Installs or replaces the binding for `addr`.
-    pub fn install(&mut self, addr: u32, port: u8) {
+    pub fn install(&mut self, addr: u32, nh: u32) {
         let i = self.index(addr);
         self.slots[i] = Slot {
             addr,
-            port,
+            nh,
             valid: true,
         };
     }
 
-    /// Invalidates every slot (done after a routing-table change so stale
-    /// bindings cannot be used).
+    /// Invalidates every slot (the recompute-then-swap control plane
+    /// does this after any routing-table change so stale bindings cannot
+    /// be used).
     pub fn flush(&mut self) {
         for s in &mut self.slots {
             s.valid = false;
         }
     }
 
-    /// `(hits, misses)` since construction.
+    /// Invalidates only the slots whose cached destination is covered by
+    /// `addr/plen` — the targeted alternative to [`flush`](Self::flush):
+    /// a single route update no longer empties all slots, so unrelated
+    /// flows keep their fast-path hits through a churn storm.
+    pub fn invalidate_covered(&mut self, addr: u32, plen: u8) {
+        let addr = mask(addr, plen);
+        for s in &mut self.slots {
+            if s.valid && mask(s.addr, plen) == addr {
+                s.valid = false;
+            }
+        }
+    }
+
+    /// Lifetime `(hits, misses)` totals since construction. Neither
+    /// [`flush`](Self::flush) nor [`take_stats`](Self::take_stats)
+    /// resets these; use `take_stats` for per-window curves that stay
+    /// honest across churn episodes.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
 
-    /// Hit rate in `[0, 1]`.
+    /// `(hits, misses)` since the previous `take_stats` call (or
+    /// construction), then starts a new epoch. Benchmark churn curves
+    /// are built from these windows so a mid-run flush cannot smear one
+    /// episode's misses across another's hit rate.
+    pub fn take_stats(&mut self) -> (u64, u64) {
+        let out = (self.epoch_hits, self.epoch_misses);
+        self.epoch_hits = 0;
+        self.epoch_misses = 0;
+        out
+    }
+
+    /// Lifetime hit rate in `[0, 1]`.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -139,12 +181,51 @@ mod tests {
     fn flush_invalidates_all() {
         let mut c = RouteCache::new(16);
         for a in 0..16u32 {
-            c.install(a, a as u8);
+            c.install(a, a);
         }
         c.flush();
         for a in 0..16u32 {
             assert_eq!(c.lookup(a), None);
         }
+    }
+
+    #[test]
+    fn targeted_invalidation_spares_unrelated_slots() {
+        let mut c = RouteCache::new(4096);
+        c.install(0x0a0a0a01, 1); // 10.10.10.1, inside 10.10.0.0/16
+        c.install(0x0a0b0c01, 2); // 10.11.12.1, outside it
+        c.install(0x14000001, 3); // 20.0.0.1, far away
+        c.invalidate_covered(0x0a0a0000, 16);
+        assert_eq!(c.lookup(0x0a0a0a01), None);
+        assert_eq!(c.lookup(0x0a0b0c01), Some(2));
+        assert_eq!(c.lookup(0x14000001), Some(3));
+    }
+
+    #[test]
+    fn invalidate_with_zero_plen_is_a_flush() {
+        let mut c = RouteCache::new(16);
+        c.install(1, 1);
+        c.install(0xffffffff, 2);
+        c.invalidate_covered(0, 0);
+        assert_eq!(c.lookup(1), None);
+        assert_eq!(c.lookup(0xffffffff), None);
+    }
+
+    #[test]
+    fn epoch_stats_reset_lifetime_stats_do_not() {
+        let mut c = RouteCache::new(64);
+        c.lookup(1); // miss
+        c.install(1, 9);
+        c.lookup(1); // hit
+        assert_eq!(c.take_stats(), (1, 1));
+        // New epoch: only what happened after the take.
+        c.lookup(1); // hit
+        c.flush();
+        c.lookup(1); // miss
+        assert_eq!(c.take_stats(), (1, 1));
+        assert_eq!(c.take_stats(), (0, 0));
+        // Lifetime totals kept accumulating through both epochs.
+        assert_eq!(c.stats(), (2, 2));
     }
 
     #[test]
@@ -158,11 +239,11 @@ mod tests {
         // Sequential addresses should mostly land in distinct slots.
         let mut c = RouteCache::new(4096);
         for a in 0..1024u32 {
-            c.install(a, (a % 251) as u8);
+            c.install(a, a % 251);
         }
         let mut hits = 0;
         for a in 0..1024u32 {
-            if c.lookup(a) == Some((a % 251) as u8) {
+            if c.lookup(a) == Some(a % 251) {
                 hits += 1;
             }
         }

@@ -1,0 +1,627 @@
+//! TTSS/tuple-space multi-field packet classification.
+//!
+//! The tuple-space family observes that although 5-tuple rule sets are
+//! huge, the set of *field-length combinations* ("tuples") is tiny: all
+//! rules with the same source/destination prefix lengths and the same
+//! port-match kinds hash into one exact-match table keyed by the masked
+//! fields. Classification probes one hash table per tuple and keeps the
+//! highest-priority match. Range fields (port ranges) cannot be hashed
+//! exactly, so a range tuple keys on the remaining exact fields and
+//! scans its (small) bucket linearly.
+//!
+//! The classifier runs on the fast path, so it is admitted through the
+//! same worst-case budget model as VRP forwarders: every inserted rule
+//! must leave the worst-case probe sequence — base cost, one SRAM probe
+//! per tuple, the longest range-bucket scan — inside the MicroEngine's
+//! per-packet [`VrpBudget`]. A rule that would blow the budget is
+//! refused at install time, exactly like an over-budget forwarder.
+//!
+//! Tuples live in a `Vec` kept sorted by tuple key (never a `HashMap`
+//! iteration: `RandomState` order would make classification — and so
+//! the simulation schedule — nondeterministic across runs).
+
+use std::collections::HashMap;
+
+use npr_vrp::VrpBudget;
+
+use crate::trie::mask;
+
+/// Base classification cost in cycles (the extensible classifier's
+/// 56-instruction dual-hash front end, section 4.5).
+pub const BASE_CYCLES: u32 = 56;
+/// Cycles per tuple probed (index arithmetic + tag compare).
+pub const PER_TUPLE_CYCLES: u32 = 24;
+/// SRAM transfers per tuple probed (one bucket-head read).
+pub const PER_TUPLE_SRAM: u32 = 1;
+/// Cycles per candidate rule scanned in a range bucket.
+pub const PER_CANDIDATE_CYCLES: u32 = 4;
+/// Hardware-hash uses per classification: the IP and transport headers
+/// are hashed once each and the pair is folded per tuple in registers,
+/// so the count does not grow with the tuple list.
+pub const HASHES: u32 = 2;
+
+/// How a rule matches a transport port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortMatch {
+    /// Any port.
+    Any,
+    /// Exactly this port.
+    Exact(u16),
+    /// Inclusive range.
+    Range(u16, u16),
+}
+
+impl PortMatch {
+    fn kind(&self) -> FieldKind {
+        match self {
+            PortMatch::Any => FieldKind::Any,
+            PortMatch::Exact(_) => FieldKind::Exact,
+            PortMatch::Range(..) => FieldKind::Range,
+        }
+    }
+
+    fn matches(&self, port: u16) -> bool {
+        match *self {
+            PortMatch::Any => true,
+            PortMatch::Exact(p) => p == port,
+            PortMatch::Range(lo, hi) => (lo..=hi).contains(&port),
+        }
+    }
+}
+
+/// The hashable shape of a port field inside a tuple key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FieldKind {
+    Any,
+    Exact,
+    Range,
+}
+
+/// A 5-tuple classification rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassRule {
+    /// Unique rule id (install handle).
+    pub id: u32,
+    /// Higher wins; ties break toward the lower id.
+    pub priority: u32,
+    /// Source prefix `(addr, plen)`.
+    pub src: (u32, u8),
+    /// Destination prefix `(addr, plen)`.
+    pub dst: (u32, u8),
+    /// Source-port match.
+    pub sport: PortMatch,
+    /// Destination-port match.
+    pub dport: PortMatch,
+    /// IP protocol, or `None` for any.
+    pub proto: Option<u8>,
+    /// Output port the matching packet is bound to.
+    pub out_port: u8,
+}
+
+impl ClassRule {
+    fn matches(&self, k: &PktKey5) -> bool {
+        mask(k.src, self.src.1) == self.src.0
+            && mask(k.dst, self.dst.1) == self.dst.0
+            && self.sport.matches(k.sport)
+            && self.dport.matches(k.dport)
+            && self.proto.map(|p| p == k.proto).unwrap_or(true)
+    }
+}
+
+/// A packet's 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktKey5 {
+    /// Source IPv4 address.
+    pub src: u32,
+    /// Destination IPv4 address.
+    pub dst: u32,
+    /// Source transport port (0 when absent).
+    pub sport: u16,
+    /// Destination transport port (0 when absent).
+    pub dport: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+/// A tuple: one field-length combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct TupleKey {
+    src_plen: u8,
+    dst_plen: u8,
+    sport: FieldKind,
+    dport: FieldKind,
+    has_proto: bool,
+}
+
+impl TupleKey {
+    fn of(rule: &ClassRule) -> Self {
+        Self {
+            src_plen: rule.src.1,
+            dst_plen: rule.dst.1,
+            sport: rule.sport.kind(),
+            dport: rule.dport.kind(),
+            has_proto: rule.proto.is_some(),
+        }
+    }
+
+    /// The exact-match key a packet (or rule) projects to in this tuple:
+    /// masked addresses, exact ports (0 when the kind is not `Exact`),
+    /// proto (0 when the tuple ignores it).
+    fn project(&self, src: u32, dst: u32, sport: u16, dport: u16, proto: u8) -> ExactKey {
+        (
+            mask(src, self.src_plen),
+            mask(dst, self.dst_plen),
+            if self.sport == FieldKind::Exact {
+                sport
+            } else {
+                0
+            },
+            if self.dport == FieldKind::Exact {
+                dport
+            } else {
+                0
+            },
+            if self.has_proto { proto } else { 0 },
+        )
+    }
+}
+
+type ExactKey = (u32, u32, u16, u16, u8);
+
+#[derive(Debug)]
+struct Tuple {
+    key: TupleKey,
+    buckets: HashMap<ExactKey, Vec<ClassRule>>,
+    rules: usize,
+}
+
+impl Tuple {
+    fn rule_key(&self, r: &ClassRule) -> ExactKey {
+        let sport = match r.sport {
+            PortMatch::Exact(p) => p,
+            _ => 0,
+        };
+        let dport = match r.dport {
+            PortMatch::Exact(p) => p,
+            _ => 0,
+        };
+        self.key
+            .project(r.src.0, r.dst.0, sport, dport, r.proto.unwrap_or(0))
+    }
+
+    fn max_bucket(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Worst-case per-packet classification cost, in the same units the VRP
+/// verifier budgets forwarders with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassifyCost {
+    /// Worst-case cycles.
+    pub cycles: u32,
+    /// Worst-case SRAM transfers.
+    pub sram: u32,
+    /// Hardware-hash uses.
+    pub hashes: u32,
+}
+
+/// Why a rule was refused at install time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyError {
+    /// A rule with this id already exists.
+    DuplicateId(u32),
+    /// The worst-case probe sequence would exceed the cycle budget.
+    CycleBudget {
+        /// Cost with the rule admitted.
+        worst_cycles: u32,
+        /// The budget's limit.
+        limit: u32,
+    },
+    /// The per-tuple SRAM probes would exceed the transfer budget.
+    SramBudget {
+        /// Cost with the rule admitted.
+        worst_sram: u32,
+        /// The budget's limit.
+        limit: u32,
+    },
+}
+
+impl core::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClassifyError::DuplicateId(id) => write!(f, "rule id {id} already installed"),
+            ClassifyError::CycleBudget { worst_cycles, limit } => write!(
+                f,
+                "worst-case classification {worst_cycles} cycles exceeds budget {limit}"
+            ),
+            ClassifyError::SramBudget { worst_sram, limit } => write!(
+                f,
+                "worst-case classification {worst_sram} SRAM transfers exceeds budget {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
+/// The tuple-space classifier.
+///
+/// # Examples
+///
+/// ```
+/// use npr_route::classify::{ClassRule, PktKey5, PortMatch, TupleSpace};
+/// use npr_vrp::VrpBudget;
+///
+/// let mut ts = TupleSpace::new();
+/// ts.insert(ClassRule {
+///     id: 1,
+///     priority: 10,
+///     src: (0x0a000000, 8),
+///     dst: (0, 0),
+///     sport: PortMatch::Any,
+///     dport: PortMatch::Exact(80),
+///     proto: Some(6),
+///     out_port: 3,
+/// }, &VrpBudget::default()).unwrap();
+/// let hit = ts.classify(&PktKey5 {
+///     src: 0x0a010203, dst: 0x14000001, sport: 555, dport: 80, proto: 6,
+/// });
+/// assert_eq!(hit.map(|r| r.out_port), Some(3));
+/// ```
+#[derive(Debug, Default)]
+pub struct TupleSpace {
+    /// Sorted by `TupleKey` for deterministic probe order.
+    tuples: Vec<Tuple>,
+    rule_count: usize,
+}
+
+impl TupleSpace {
+    /// Creates an empty classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
+    }
+
+    /// Number of distinct tuples (hash tables probed per packet).
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn cost_of(tuples: usize, range_scan: usize) -> ClassifyCost {
+        ClassifyCost {
+            cycles: BASE_CYCLES
+                + PER_TUPLE_CYCLES * tuples as u32
+                + PER_CANDIDATE_CYCLES * range_scan as u32,
+            sram: PER_TUPLE_SRAM * tuples as u32,
+            hashes: HASHES,
+        }
+    }
+
+    /// Worst-case range-bucket scan length summed over tuples (exact
+    /// tuples scan at most the duplicate-priority pile in one bucket,
+    /// charged the same way).
+    fn worst_scan(&self) -> usize {
+        self.tuples.iter().map(Tuple::max_bucket).sum()
+    }
+
+    /// Current worst-case per-packet cost.
+    pub fn cost(&self) -> ClassifyCost {
+        Self::cost_of(self.tuples.len(), self.worst_scan())
+    }
+
+    /// The cost the table would have after admitting `rule` — what the
+    /// budget check runs against.
+    pub fn cost_with(&self, rule: &ClassRule) -> ClassifyCost {
+        let key = TupleKey::of(rule);
+        let mut tuples = self.tuples.len();
+        let mut scan = self.worst_scan();
+        match self.tuples.iter().find(|t| t.key == key) {
+            Some(t) => {
+                let grown = t.buckets.get(&t.rule_key(rule)).map_or(1, |b| b.len() + 1);
+                if grown > t.max_bucket() {
+                    scan += grown - t.max_bucket();
+                }
+            }
+            None => {
+                tuples += 1;
+                scan += 1;
+            }
+        }
+        Self::cost_of(tuples, scan)
+    }
+
+    /// Installs `rule`, first verifying the post-install worst case
+    /// against `budget` — the same admission discipline forwarders go
+    /// through. Refused rules leave the table untouched. Prefix host
+    /// bits are masked off, so `10.0.0.1/8` and `10.0.0.0/8` are the
+    /// same rule shape.
+    pub fn insert(&mut self, mut rule: ClassRule, budget: &VrpBudget) -> Result<(), ClassifyError> {
+        rule.src.0 = mask(rule.src.0, rule.src.1);
+        rule.dst.0 = mask(rule.dst.0, rule.dst.1);
+        if self.tuples.iter().any(|t| {
+            t.buckets
+                .values()
+                .any(|b| b.iter().any(|r| r.id == rule.id))
+        }) {
+            return Err(ClassifyError::DuplicateId(rule.id));
+        }
+        let cost = self.cost_with(&rule);
+        if cost.cycles > budget.cycles {
+            return Err(ClassifyError::CycleBudget {
+                worst_cycles: cost.cycles,
+                limit: budget.cycles,
+            });
+        }
+        if cost.sram > budget.sram_transfers {
+            return Err(ClassifyError::SramBudget {
+                worst_sram: cost.sram,
+                limit: budget.sram_transfers,
+            });
+        }
+        let key = TupleKey::of(&rule);
+        let pos = match self.tuples.binary_search_by(|t| t.key.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.tuples.insert(
+                    i,
+                    Tuple {
+                        key,
+                        buckets: HashMap::new(),
+                        rules: 0,
+                    },
+                );
+                i
+            }
+        };
+        let t = &mut self.tuples[pos];
+        let ek = t.rule_key(&rule);
+        t.buckets.entry(ek).or_default().push(rule);
+        t.rules += 1;
+        self.rule_count += 1;
+        Ok(())
+    }
+
+    /// Removes the rule with `id`; returns `true` if it existed. Empty
+    /// buckets and tuples are dropped so the probe count shrinks with
+    /// the rule set.
+    pub fn remove(&mut self, id: u32) -> bool {
+        for ti in 0..self.tuples.len() {
+            let t = &mut self.tuples[ti];
+            let mut hit_key = None;
+            for (k, bucket) in t.buckets.iter_mut() {
+                if let Some(i) = bucket.iter().position(|r| r.id == id) {
+                    bucket.remove(i);
+                    hit_key = Some((*k, bucket.is_empty()));
+                    break;
+                }
+            }
+            if let Some((k, empty)) = hit_key {
+                if empty {
+                    t.buckets.remove(&k);
+                }
+                t.rules -= 1;
+                if t.rules == 0 {
+                    self.tuples.remove(ti);
+                }
+                self.rule_count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Classifies a packet: probes every tuple's hash table and returns
+    /// the highest-priority matching rule (ties toward the lower id).
+    pub fn classify(&self, k: &PktKey5) -> Option<&ClassRule> {
+        let mut best: Option<&ClassRule> = None;
+        for t in &self.tuples {
+            let ek = t.key.project(k.src, k.dst, k.sport, k.dport, k.proto);
+            if let Some(bucket) = t.buckets.get(&ek) {
+                for r in bucket {
+                    if r.matches(k)
+                        && best.map_or(true, |b| {
+                            (r.priority, std::cmp::Reverse(r.id))
+                                > (b.priority, std::cmp::Reverse(b.id))
+                        })
+                    {
+                        best = Some(r);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(id: u32, priority: u32) -> ClassRule {
+        ClassRule {
+            id,
+            priority,
+            src: (0, 0),
+            dst: (0, 0),
+            sport: PortMatch::Any,
+            dport: PortMatch::Any,
+            proto: None,
+            out_port: id as u8,
+        }
+    }
+
+    fn pkt(src: u32, dst: u32, sport: u16, dport: u16, proto: u8) -> PktKey5 {
+        PktKey5 {
+            src,
+            dst,
+            sport,
+            dport,
+            proto,
+        }
+    }
+
+    #[test]
+    fn exact_and_prefix_fields_match() {
+        let mut ts = TupleSpace::new();
+        let r = ClassRule {
+            src: (0x0a000000, 8),
+            dst: (0x14140000, 16),
+            sport: PortMatch::Any,
+            dport: PortMatch::Exact(53),
+            proto: Some(17),
+            ..rule(1, 5)
+        };
+        ts.insert(r, &VrpBudget::default()).unwrap();
+        assert_eq!(
+            ts.classify(&pkt(0x0a123456, 0x1414aaaa, 9999, 53, 17)),
+            Some(&r)
+        );
+        // Wrong dport, proto, or dst prefix: no match.
+        assert_eq!(ts.classify(&pkt(0x0a123456, 0x1414aaaa, 9999, 54, 17)), None);
+        assert_eq!(ts.classify(&pkt(0x0a123456, 0x1414aaaa, 9999, 53, 6)), None);
+        assert_eq!(ts.classify(&pkt(0x0a123456, 0x1415aaaa, 9999, 53, 17)), None);
+    }
+
+    #[test]
+    fn range_fields_scan_their_bucket() {
+        let mut ts = TupleSpace::new();
+        let r = ClassRule {
+            sport: PortMatch::Range(1024, 2048),
+            ..rule(1, 5)
+        };
+        ts.insert(r, &VrpBudget::default()).unwrap();
+        assert_eq!(ts.classify(&pkt(1, 2, 1024, 0, 6)), Some(&r));
+        assert_eq!(ts.classify(&pkt(1, 2, 2048, 0, 6)), Some(&r));
+        assert_eq!(ts.classify(&pkt(1, 2, 1023, 0, 6)), None);
+        assert_eq!(ts.classify(&pkt(1, 2, 2049, 0, 6)), None);
+    }
+
+    #[test]
+    fn priority_wins_and_ties_break_low_id() {
+        let mut ts = TupleSpace::new();
+        let b = VrpBudget::default();
+        ts.insert(rule(1, 5), &b).unwrap();
+        ts.insert(rule(2, 9), &b).unwrap();
+        ts.insert(rule(7, 9), &b).unwrap();
+        assert_eq!(ts.classify(&pkt(1, 2, 3, 4, 6)).unwrap().id, 2);
+    }
+
+    #[test]
+    fn rules_with_same_shape_share_a_tuple() {
+        let mut ts = TupleSpace::new();
+        let b = VrpBudget::default();
+        for i in 0..4 {
+            ts.insert(
+                ClassRule {
+                    dst: (u32::from(i) << 24, 8),
+                    ..rule(i, 1)
+                },
+                &b,
+            )
+            .unwrap();
+        }
+        assert_eq!(ts.tuple_count(), 1);
+        assert_eq!(ts.rule_count(), 4);
+    }
+
+    #[test]
+    fn admission_refuses_over_budget_tuple_growth() {
+        let mut ts = TupleSpace::new();
+        let b = VrpBudget::default(); // 240 cycles.
+        // Each distinct prefix length is a new tuple at +24 cycles plus
+        // its bucket-scan slot, so the budget admits only a handful.
+        let mut admitted = 0;
+        let mut refused = None;
+        for plen in 1..=16u8 {
+            let r = ClassRule {
+                dst: (0x0a000000, plen),
+                ..rule(u32::from(plen), 1)
+            };
+            match ts.insert(r, &b) {
+                Ok(()) => admitted += 1,
+                Err(e) => {
+                    refused = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(refused, Some(ClassifyError::CycleBudget { .. })));
+        assert_eq!(admitted, ts.tuple_count());
+        assert!(ts.cost().cycles <= b.cycles);
+        // The refused rule left the table untouched and classification
+        // still works.
+        assert!(ts.classify(&pkt(0x0a000001, 0x0a000001, 1, 2, 6)).is_some());
+    }
+
+    #[test]
+    fn admission_counts_range_bucket_growth() {
+        let mut ts = TupleSpace::new();
+        let b = VrpBudget::default();
+        // Same tuple, same exact projection: every rule lands in one
+        // bucket, so the scan term grows by 4 cycles each.
+        let mut n = 0u32;
+        loop {
+            let r = ClassRule {
+                sport: PortMatch::Range(n as u16, n as u16 + 1),
+                ..rule(n, 1)
+            };
+            match ts.insert(r, &b) {
+                Ok(()) => n += 1,
+                Err(ClassifyError::CycleBudget { worst_cycles, limit }) => {
+                    assert!(worst_cycles > limit);
+                    break;
+                }
+                Err(e) => panic!("unexpected refusal: {e}"),
+            }
+            assert!(n < 200, "bucket growth never hit the budget");
+        }
+        assert_eq!(ts.tuple_count(), 1);
+        assert!(ts.cost().cycles <= b.cycles);
+    }
+
+    #[test]
+    fn remove_shrinks_tuples_and_cost() {
+        let mut ts = TupleSpace::new();
+        let b = VrpBudget::default();
+        ts.insert(rule(1, 1), &b).unwrap();
+        ts.insert(
+            ClassRule {
+                dst: (0x0a000000, 8),
+                ..rule(2, 1)
+            },
+            &b,
+        )
+        .unwrap();
+        assert_eq!(ts.tuple_count(), 2);
+        let full = ts.cost();
+        assert!(ts.remove(2));
+        assert!(!ts.remove(2));
+        assert_eq!(ts.tuple_count(), 1);
+        assert!(ts.cost().cycles < full.cycles);
+    }
+
+    #[test]
+    fn duplicate_ids_are_refused() {
+        let mut ts = TupleSpace::new();
+        let b = VrpBudget::default();
+        ts.insert(rule(1, 1), &b).unwrap();
+        assert_eq!(
+            ts.insert(rule(1, 2), &b),
+            Err(ClassifyError::DuplicateId(1))
+        );
+    }
+
+    #[test]
+    fn hash_budget_shape_fits_the_hardware() {
+        // The cost model's hash count must fit the paper's 3-hash MP
+        // budget no matter how many tuples are installed.
+        let ts = TupleSpace::new();
+        assert!(ts.cost().hashes <= VrpBudget::default().hashes);
+        assert_eq!(ts.cost().cycles, BASE_CYCLES);
+    }
+}

@@ -3,17 +3,30 @@
 //! Wraps the prefix trie with next-hop metadata (output port + next-hop
 //! MAC, which the fast path writes into the Ethernet header) and provides
 //! the update operations a routing protocol drives. Updating the table
-//! flushes the fast-path route cache, mirroring the paper's split where
-//! "the control plane often runs compute-intensive programs, such as the
-//! shortest-path algorithm to compute a new routing table".
+//! invalidates fast-path route-cache bindings, mirroring the paper's
+//! split where "the control plane often runs compute-intensive programs,
+//! such as the shortest-path algorithm to compute a new routing table".
+//!
+//! Two invalidation disciplines are supported: [`Invalidation::FullFlush`]
+//! is the paper-faithful recompute-then-swap (every update empties the
+//! cache), [`Invalidation::Targeted`] invalidates only the slots covered
+//! by the changed prefix so a BGP churn storm does not zero the hit rate.
+//!
+//! Next hops are stored once in a refcounted arena; the cache and the
+//! trie both carry indices into it. Withdrawing the last route through a
+//! neighbor frees its slot for reuse, so full-table churn cannot grow
+//! the array without bound and a withdrawn neighbor's MAC can no longer
+//! be resolved.
+
+use std::collections::HashMap;
 
 use npr_packet::MacAddr;
 
 use crate::cache::RouteCache;
-use crate::trie::PrefixTrie;
+use crate::trie::{PrefixTrie, TrieStats};
 
 /// A next hop: which port to emit on and which MAC to address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NextHop {
     /// Output port index.
     pub port: u8,
@@ -32,7 +45,19 @@ pub struct Route {
     pub next_hop: NextHop,
 }
 
-/// Routing table: trie + next-hop array + fast-path cache.
+/// How a route update invalidates the fast-path cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Invalidation {
+    /// Every update flushes all slots: the paper's recompute-then-swap
+    /// control plane. The default, and the discipline the pinned golden
+    /// schedule digest was recorded under.
+    #[default]
+    FullFlush,
+    /// An update invalidates only slots covered by the changed prefix.
+    Targeted,
+}
+
+/// Routing table: trie + refcounted next-hop arena + fast-path cache.
 ///
 /// # Examples
 ///
@@ -49,45 +74,124 @@ pub struct Route {
 pub struct RoutingTable {
     trie: PrefixTrie,
     next_hops: Vec<NextHop>,
+    /// Routes referencing each next-hop slot; 0 marks a free slot.
+    refs: Vec<u32>,
+    /// Free next-hop slots, reused before the array grows.
+    free: Vec<u32>,
+    /// Dedup index over live next hops.
+    index: HashMap<NextHop, u32>,
     cache: RouteCache,
+    invalidation: Invalidation,
 }
 
 impl RoutingTable {
-    /// Creates an empty table with a `cache_slots`-entry route cache.
+    /// Creates an empty table with a `cache_slots`-entry route cache,
+    /// default 16-8-8 strides, and full-flush invalidation.
     pub fn new(cache_slots: usize) -> Self {
+        Self::with_config(&[16, 8, 8], cache_slots, Invalidation::FullFlush)
+    }
+
+    /// Creates an empty table with explicit strides and invalidation
+    /// discipline.
+    pub fn with_config(strides: &[u8], cache_slots: usize, invalidation: Invalidation) -> Self {
         Self {
-            trie: PrefixTrie::ipv4_default(),
+            trie: PrefixTrie::new(strides),
             next_hops: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
             cache: RouteCache::new(cache_slots),
+            invalidation,
         }
     }
 
-    /// Installs (or replaces) a route. Flushes the cache.
-    pub fn insert(&mut self, addr: u32, plen: u8, next_hop: NextHop) {
-        let idx = match self.next_hops.iter().position(|&nh| nh == next_hop) {
-            Some(i) => i,
+    /// Switches the cache-invalidation discipline (takes effect on the
+    /// next update).
+    pub fn set_invalidation(&mut self, mode: Invalidation) {
+        self.invalidation = mode;
+    }
+
+    /// The active invalidation discipline.
+    pub fn invalidation(&self) -> Invalidation {
+        self.invalidation
+    }
+
+    fn acquire(&mut self, next_hop: NextHop) -> u32 {
+        if let Some(&i) = self.index.get(&next_hop) {
+            self.refs[i as usize] += 1;
+            return i;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.next_hops[i as usize] = next_hop;
+                i
+            }
             None => {
                 self.next_hops.push(next_hop);
-                self.next_hops.len() - 1
+                (self.next_hops.len() - 1) as u32
             }
         };
-        self.trie.insert(addr, plen, idx as u32);
-        self.cache.flush();
+        self.refs.resize(self.next_hops.len(), 0);
+        self.refs[i as usize] = 1;
+        self.index.insert(next_hop, i);
+        i
     }
 
-    /// Removes a route; returns `true` if present. Flushes the cache.
-    pub fn remove(&mut self, addr: u32, plen: u8) -> bool {
-        let removed = self.trie.remove(addr, plen);
-        if removed {
-            self.cache.flush();
+    fn release(&mut self, i: u32) {
+        let r = &mut self.refs[i as usize];
+        debug_assert!(*r > 0, "release of a free next-hop slot");
+        *r -= 1;
+        if *r == 0 {
+            self.index.remove(&self.next_hops[i as usize]);
+            self.free.push(i);
         }
-        removed
+    }
+
+    fn invalidate(&mut self, addr: u32, plen: u8) {
+        match self.invalidation {
+            Invalidation::FullFlush => self.cache.flush(),
+            Invalidation::Targeted => self.cache.invalidate_covered(addr, plen),
+        }
+    }
+
+    /// Installs (or replaces) a route, then invalidates the covered
+    /// cache bindings (all of them under full flush).
+    pub fn insert(&mut self, addr: u32, plen: u8, next_hop: NextHop) {
+        let idx = self.acquire(next_hop);
+        if let Some(old) = self.trie.insert(addr, plen, idx) {
+            self.release(old);
+        }
+        self.invalidate(addr, plen);
+    }
+
+    /// Removes a route; returns `true` if present. Invalidates the
+    /// covered cache bindings and drops the next-hop reference (freeing
+    /// the slot when the last route through that neighbor is withdrawn).
+    pub fn remove(&mut self, addr: u32, plen: u8) -> bool {
+        match self.trie.remove(addr, plen) {
+            Some(idx) => {
+                self.release(idx);
+                self.invalidate(addr, plen);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bulk-installs routes (synthetic table preload).
+    pub fn load<I: IntoIterator<Item = Route>>(&mut self, routes: I) {
+        for r in routes {
+            self.insert(r.addr, r.plen, r.next_hop);
+        }
     }
 
     /// Fast-path lookup: route-cache only. `None` means the packet is
-    /// exceptional and must go to the StrongARM.
-    pub fn lookup_fast(&mut self, dst: u32) -> Option<u8> {
-        self.cache.lookup(dst)
+    /// exceptional and must go to the StrongARM. A hit yields the full
+    /// next hop (port and MAC) — the cache stores a next-hop index, so
+    /// two neighbors on one port cannot alias.
+    pub fn lookup_fast(&mut self, dst: u32) -> Option<NextHop> {
+        let idx = self.cache.lookup(dst)?;
+        Some(self.next_hops[idx as usize])
     }
 
     /// Slow-path lookup via the trie: returns the next hop and the number
@@ -100,11 +204,14 @@ impl RoutingTable {
     /// Slow-path lookup that also installs the result in the cache (the
     /// StrongARM's miss handler).
     pub fn lookup_and_fill(&mut self, dst: u32) -> (Option<NextHop>, u32) {
-        let (nh, levels) = self.lookup_slow(dst);
-        if let Some(nh) = nh {
-            self.cache.install(dst, nh.port);
+        let (v, levels) = self.trie.lookup(dst);
+        match v {
+            Some(idx) => {
+                self.cache.install(dst, idx);
+                (Some(self.next_hops[idx as usize]), levels)
+            }
+            None => (None, levels),
         }
-        (nh, levels)
     }
 
     /// Number of installed routes.
@@ -112,18 +219,36 @@ impl RoutingTable {
         self.trie.route_count()
     }
 
-    /// Cache `(hits, misses)`.
+    /// Number of live (referenced) next hops.
+    pub fn next_hop_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total next-hop slots allocated, live or free — bounded by the
+    /// peak number of *concurrent* neighbors, not by churn volume.
+    pub fn next_hop_slots(&self) -> usize {
+        self.next_hops.len()
+    }
+
+    /// Whether any installed route still resolves to `next_hop`.
+    pub fn has_next_hop(&self, next_hop: &NextHop) -> bool {
+        self.index.contains_key(next_hop)
+    }
+
+    /// Lifetime cache `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
     }
 
-    /// Next hop for a cached port index (fast path carries only the port;
-    /// the MAC comes from the next-hop table keyed by port).
-    pub fn mac_for_port(&self, port: u8) -> Option<MacAddr> {
-        self.next_hops
-            .iter()
-            .find(|nh| nh.port == port)
-            .map(|nh| nh.mac)
+    /// Cache `(hits, misses)` for the window since the previous call;
+    /// see [`RouteCache::take_stats`].
+    pub fn take_cache_stats(&mut self) -> (u64, u64) {
+        self.cache.take_stats()
+    }
+
+    /// Trie shape / memory / lookup statistics.
+    pub fn trie_stats(&self) -> TrieStats {
+        self.trie.stats()
     }
 
     /// Mean trie levels touched per slow-path lookup so far.
@@ -150,7 +275,7 @@ mod tests {
         assert_eq!(rt.lookup_fast(0x0a000001), None);
         let (h, _) = rt.lookup_and_fill(0x0a000001);
         assert_eq!(h.unwrap().port, 1);
-        assert_eq!(rt.lookup_fast(0x0a000001), Some(1));
+        assert_eq!(rt.lookup_fast(0x0a000001), Some(nh(1)));
     }
 
     #[test]
@@ -158,7 +283,7 @@ mod tests {
         let mut rt = RoutingTable::new(64);
         rt.insert(0x0a000000, 8, nh(1));
         rt.lookup_and_fill(0x0a000001);
-        assert_eq!(rt.lookup_fast(0x0a000001), Some(1));
+        assert_eq!(rt.lookup_fast(0x0a000001), Some(nh(1)));
         // A more specific route changes the answer; the stale cache entry
         // must not survive.
         rt.insert(0x0a000000, 24, nh(2));
@@ -179,20 +304,123 @@ mod tests {
     }
 
     #[test]
+    fn targeted_update_spares_unrelated_bindings() {
+        let mut rt = RoutingTable::with_config(&[16, 8, 8], 4096, Invalidation::Targeted);
+        rt.insert(0x0a000000, 8, nh(1)); // 10/8
+        rt.insert(0x14000000, 8, nh(2)); // 20/8
+        rt.lookup_and_fill(0x0a000001);
+        rt.lookup_and_fill(0x14000001);
+        // Updating 10.10/16 must not evict the 20.0.0.1 binding, but a
+        // covered destination must miss and re-resolve.
+        rt.insert(0x0a0a0000, 16, nh(3));
+        assert_eq!(rt.lookup_fast(0x14000001), Some(nh(2)));
+        rt.lookup_and_fill(0x0a0a0001);
+        assert_eq!(rt.lookup_fast(0x0a0a0001), Some(nh(3)));
+        // Withdrawal likewise only touches the covered span.
+        assert!(rt.remove(0x0a0a0000, 16));
+        assert_eq!(rt.lookup_fast(0x0a0a0001), None);
+        assert_eq!(rt.lookup_fast(0x14000001), Some(nh(2)));
+        let (h, _) = rt.lookup_and_fill(0x0a0a0001);
+        assert_eq!(h.unwrap().port, 1);
+    }
+
+    #[test]
     fn next_hop_dedup() {
         let mut rt = RoutingTable::new(64);
         rt.insert(0x0a000000, 8, nh(1));
         rt.insert(0x14000000, 8, nh(1));
         rt.insert(0x1e000000, 8, nh(2));
-        assert_eq!(rt.next_hops.len(), 2);
+        assert_eq!(rt.next_hop_count(), 2);
         assert_eq!(rt.route_count(), 3);
     }
 
+    /// Satellite regression: two neighbors on the *same* port with
+    /// different MACs. The old cache carried a bare port and recovered
+    /// the MAC by scanning for the first next hop on that port, so one
+    /// neighbor's traffic was rewritten with the other's MAC.
     #[test]
-    fn mac_for_port_finds_binding() {
+    fn same_port_neighbors_keep_their_own_macs() {
+        let a = NextHop {
+            port: 3,
+            mac: MacAddr([0x02, 0xAA, 0, 0, 0, 1]),
+        };
+        let b = NextHop {
+            port: 3,
+            mac: MacAddr([0x02, 0xBB, 0, 0, 0, 2]),
+        };
         let mut rt = RoutingTable::new(64);
-        rt.insert(0x0a000000, 8, nh(5));
-        assert_eq!(rt.mac_for_port(5), Some(MacAddr::for_port(5)));
-        assert_eq!(rt.mac_for_port(6), None);
+        rt.insert(0x0a000000, 8, a);
+        rt.insert(0x14000000, 8, b);
+        let (ha, _) = rt.lookup_and_fill(0x0a000001);
+        let (hb, _) = rt.lookup_and_fill(0x14000001);
+        assert_eq!(ha.unwrap(), a);
+        assert_eq!(hb.unwrap(), b);
+        // The fast path must agree with the slow path per destination.
+        assert_eq!(rt.lookup_fast(0x0a000001), Some(a));
+        assert_eq!(rt.lookup_fast(0x14000001), Some(b));
+    }
+
+    /// Satellite regression: a withdraw/announce churn loop must not
+    /// grow the next-hop array, and a fully withdrawn neighbor's MAC
+    /// must stop being resolvable.
+    #[test]
+    fn churn_keeps_next_hops_bounded_and_frees_withdrawn_neighbors() {
+        let mut rt = RoutingTable::new(64);
+        rt.insert(0x0a000000, 8, nh(0)); // One stable route.
+        for round in 0..1000u32 {
+            let ephemeral = NextHop {
+                port: 5,
+                mac: MacAddr([0x02, 0xEE, 0, 0, (round >> 8) as u8, round as u8]),
+            };
+            rt.insert(0x14000000, 8, ephemeral);
+            assert!(rt.has_next_hop(&ephemeral));
+            assert!(rt.remove(0x14000000, 8));
+            assert!(
+                !rt.has_next_hop(&ephemeral),
+                "withdrawn neighbor still resolvable at round {round}"
+            );
+        }
+        assert_eq!(rt.next_hop_count(), 1);
+        assert!(
+            rt.next_hop_slots() <= 2,
+            "next-hop array grew under churn: {} slots",
+            rt.next_hop_slots()
+        );
+    }
+
+    #[test]
+    fn replacing_a_routes_next_hop_releases_the_old_one() {
+        let mut rt = RoutingTable::new(64);
+        let a = nh(1);
+        let b = nh(2);
+        rt.insert(0x0a000000, 8, a);
+        rt.insert(0x0a000000, 8, b);
+        assert!(!rt.has_next_hop(&a));
+        assert!(rt.has_next_hop(&b));
+        assert_eq!(rt.next_hop_count(), 1);
+        let (h, _) = rt.lookup_and_fill(0x0a000001);
+        assert_eq!(h.unwrap(), b);
+    }
+
+    #[test]
+    fn freed_slot_reuse_cannot_serve_stale_bindings() {
+        // Install + cache a binding, withdraw it, then reuse the freed
+        // slot for a different neighbor: the stale cache entry must be
+        // gone (invalidation covers every destination the dead route
+        // could have bound).
+        let mut rt = RoutingTable::with_config(&[16, 8, 8], 64, Invalidation::Targeted);
+        let a = NextHop {
+            port: 1,
+            mac: MacAddr([0x02, 0xAA, 0, 0, 0, 1]),
+        };
+        let b = NextHop {
+            port: 2,
+            mac: MacAddr([0x02, 0xBB, 0, 0, 0, 2]),
+        };
+        rt.insert(0x0a000000, 8, a);
+        rt.lookup_and_fill(0x0a000001);
+        assert!(rt.remove(0x0a000000, 8));
+        rt.insert(0x14000000, 8, b); // Reuses slot 0.
+        assert_eq!(rt.lookup_fast(0x0a000001), None);
     }
 }

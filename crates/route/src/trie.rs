@@ -8,14 +8,88 @@
 //! Lookup cost is reported per level touched so the simulation can charge
 //! MicroEngine/StrongARM cycles; the paper measured an average of 236
 //! cycles per lookup on its table.
+//!
+//! # Memory layout
+//!
+//! At BGP scale (~1M prefixes) a node-per-allocation layout thrashes the
+//! allocator and scatters lookups across the heap, so every node lives in
+//! one flat `Vec<u64>` arena. An entry packs value, expanded prefix
+//! length, and child pointer into a single word:
+//!
+//! ```text
+//! bit 63      bits 39..63   bits 33..39   bit 32      bits 0..32
+//! has_child   child node id expanded plen has_value   value
+//! ```
+//!
+//! Nodes freed by route withdrawal go on a per-level free list and are
+//! reused by later inserts, so a full-table churn storm does not grow the
+//! arena without bound. `stats().bytes` reports the resident arena size.
+
+use std::collections::HashMap;
+
+const VALUE_MASK: u64 = 0xFFFF_FFFF;
+const HAS_VALUE: u64 = 1 << 32;
+const PLEN_SHIFT: u32 = 33;
+const PLEN_MASK: u64 = 0x3F << PLEN_SHIFT;
+const CHILD_SHIFT: u32 = 39;
+const CHILD_MASK: u64 = 0xFF_FFFF << CHILD_SHIFT;
+const HAS_CHILD: u64 = 1 << 63;
+
+#[inline]
+fn entry_value(e: u64) -> Option<u32> {
+    if e & HAS_VALUE != 0 {
+        Some((e & VALUE_MASK) as u32)
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn entry_plen(e: u64) -> u8 {
+    ((e & PLEN_MASK) >> PLEN_SHIFT) as u8
+}
+
+#[inline]
+fn entry_child(e: u64) -> Option<u32> {
+    if e & HAS_CHILD != 0 {
+        Some(((e & CHILD_MASK) >> CHILD_SHIFT) as u32)
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn with_value(e: u64, value: u32, plen: u8) -> u64 {
+    (e & (HAS_CHILD | CHILD_MASK))
+        | HAS_VALUE
+        | (u64::from(plen) << PLEN_SHIFT)
+        | u64::from(value)
+}
+
+#[inline]
+fn without_value(e: u64) -> u64 {
+    e & (HAS_CHILD | CHILD_MASK)
+}
+
+#[inline]
+fn with_child(e: u64, child: u32) -> u64 {
+    (e & !(HAS_CHILD | CHILD_MASK)) | HAS_CHILD | (u64::from(child) << CHILD_SHIFT)
+}
+
+#[inline]
+fn without_child(e: u64) -> u64 {
+    e & !(HAS_CHILD | CHILD_MASK)
+}
 
 /// Statistics describing trie shape and lookup effort.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrieStats {
-    /// Number of multibit nodes allocated.
+    /// Number of live multibit nodes (free-listed nodes excluded).
     pub nodes: usize,
-    /// Total expanded entries across all nodes.
+    /// Total expanded entries across live nodes.
     pub entries: usize,
+    /// Resident bytes: the entry arena plus the node offset table.
+    pub bytes: usize,
     /// Lookups performed.
     pub lookups: u64,
     /// Total levels touched across all lookups.
@@ -31,23 +105,6 @@ impl TrieStats {
             self.levels_touched as f64 / self.lookups as f64
         }
     }
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct Entry {
-    /// Port (or next-hop index) of the best match so far, if any.
-    value: Option<u32>,
-    /// Length of the original prefix that produced this value (for
-    /// longest-match priority among expanded entries).
-    plen: u8,
-    /// Child node index, if a longer match may exist below.
-    child: Option<u32>,
-}
-
-#[derive(Debug)]
-struct Node {
-    /// 2^stride entries.
-    entries: Vec<Entry>,
 }
 
 /// A controlled-prefix-expansion multibit trie mapping IPv4 prefixes to
@@ -68,12 +125,21 @@ struct Node {
 #[derive(Debug)]
 pub struct PrefixTrie {
     strides: Vec<u8>,
-    nodes: Vec<Node>,
+    /// All node entries, packed; node `n` occupies
+    /// `arena[node_off[n] .. node_off[n] + 2^stride]`.
+    arena: Vec<u64>,
+    /// Arena offset of each node ever allocated (freed nodes keep their
+    /// span and are reused through `free`).
+    node_off: Vec<u32>,
+    /// Reusable node ids, one list per level (node size is per-level).
+    free: Vec<Vec<u32>>,
+    free_nodes: usize,
+    free_entries: usize,
     stats_lookups: std::cell::Cell<u64>,
     stats_levels: std::cell::Cell<u64>,
-    /// Original (addr, plen, value) list, kept for rebuilds and oracle
-    /// comparison.
-    routes: Vec<(u32, u8, u32)>,
+    /// Installed (un-expanded) routes: the source of truth for targeted
+    /// removal repair and the naive oracle.
+    routes: HashMap<(u32, u8), u32>,
 }
 
 impl PrefixTrie {
@@ -91,14 +157,16 @@ impl PrefixTrie {
         assert!(strides.iter().all(|&s| s > 0), "zero stride");
         let mut t = Self {
             strides: strides.to_vec(),
-            nodes: Vec::new(),
+            arena: Vec::new(),
+            node_off: Vec::new(),
+            free: vec![Vec::new(); strides.len()],
+            free_nodes: 0,
+            free_entries: 0,
             stats_lookups: std::cell::Cell::new(0),
             stats_levels: std::cell::Cell::new(0),
-            routes: Vec::new(),
+            routes: HashMap::new(),
         };
-        t.nodes.push(Node {
-            entries: vec![Entry::default(); 1 << strides[0]],
-        });
+        t.alloc_node(0); // The root always exists.
         t
     }
 
@@ -107,93 +175,162 @@ impl PrefixTrie {
         Self::new(&[16, 8, 8])
     }
 
+    fn alloc_node(&mut self, level: usize) -> u32 {
+        let size = 1usize << self.strides[level];
+        if let Some(id) = self.free[level].pop() {
+            let off = self.node_off[id as usize] as usize;
+            self.arena[off..off + size].fill(0);
+            self.free_nodes -= 1;
+            self.free_entries -= size;
+            return id;
+        }
+        let off = self.arena.len();
+        assert!(off + size <= u32::MAX as usize, "trie arena overflow");
+        self.arena.resize(off + size, 0);
+        self.node_off.push(off as u32);
+        (self.node_off.len() - 1) as u32
+    }
+
     /// Inserts `addr/plen -> value`, expanding the prefix to stride
-    /// boundaries. Re-inserting an existing prefix overwrites its value.
+    /// boundaries. Returns the previous value if the exact prefix was
+    /// already installed.
     ///
     /// # Panics
     ///
     /// Panics if `plen > 32`.
-    pub fn insert(&mut self, addr: u32, plen: u8, value: u32) {
+    pub fn insert(&mut self, addr: u32, plen: u8, value: u32) -> Option<u32> {
         assert!(plen <= 32, "prefix length out of range");
         let addr = mask(addr, plen);
-        if let Some(r) = self.routes.iter_mut().find(|r| r.0 == addr && r.1 == plen) {
-            r.2 = value;
-        } else {
-            self.routes.push((addr, plen, value));
-        }
-        self.insert_expanded(addr, plen, value);
-    }
-
-    /// Removes `addr/plen`; returns `true` if it was present. Because
-    /// expansion smears prefixes over entries, removal rebuilds the trie
-    /// from the route list — exactly what the paper's control plane does
-    /// on a routing update (recompute, then swap).
-    pub fn remove(&mut self, addr: u32, plen: u8) -> bool {
-        let addr = mask(addr, plen);
-        let before = self.routes.len();
-        self.routes.retain(|r| !(r.0 == addr && r.1 == plen));
-        if self.routes.len() == before {
-            return false;
-        }
-        self.rebuild();
-        true
-    }
-
-    /// Rebuilds all trie nodes from the retained route list.
-    pub fn rebuild(&mut self) {
-        self.nodes.clear();
-        self.nodes.push(Node {
-            entries: vec![Entry::default(); 1 << self.strides[0]],
-        });
-        let routes = std::mem::take(&mut self.routes);
-        for &(a, l, v) in &routes {
-            self.insert_expanded(a, l, v);
-        }
-        self.routes = routes;
-    }
-
-    fn insert_expanded(&mut self, addr: u32, plen: u8, value: u32) {
-        self.insert_level(0, 0, addr, plen, value);
-    }
-
-    /// Recursive insert: at `level`, node `node`, remaining prefix is the
-    /// portion of `addr` below the bits already consumed.
-    fn insert_level(&mut self, level: usize, node: usize, addr: u32, plen: u8, value: u32) {
-        let consumed: u8 = self.strides[..level].iter().sum();
-        let stride = self.strides[level];
-        let shift = 32 - consumed - stride;
-        let index_bits = |a: u32| ((a >> shift) as usize) & ((1 << stride) - 1);
-
-        if plen <= consumed + stride {
-            // The prefix ends within this node: expand over all entries
-            // whose index shares the prefix's leading bits.
-            let fixed = plen - consumed;
-            let base = index_bits(addr) & !((1usize << (stride - fixed)) - 1);
-            for i in 0..(1usize << (stride - fixed)) {
-                let e = &mut self.nodes[node].entries[base + i];
-                // Longest-prefix priority among expanded entries.
-                if e.value.is_none() || e.plen <= plen {
-                    e.value = Some(value);
-                    e.plen = plen;
+        let old = self.routes.insert((addr, plen), value);
+        let mut node = 0u32;
+        let mut consumed = 0u8;
+        for level in 0..self.strides.len() {
+            let stride = self.strides[level];
+            let shift = u32::from(32 - consumed - stride);
+            if plen <= consumed + stride {
+                // The prefix ends within this node: expand over all
+                // entries whose index shares the prefix's leading bits.
+                let fixed = plen - consumed;
+                let span = 1usize << (stride - fixed);
+                let base =
+                    (((addr >> shift) as usize) & ((1usize << stride) - 1)) & !(span - 1);
+                let off = self.node_off[node as usize] as usize;
+                for e in &mut self.arena[off + base..off + base + span] {
+                    // Longest-prefix priority among expanded entries.
+                    if *e & HAS_VALUE == 0 || entry_plen(*e) <= plen {
+                        *e = with_value(*e, value, plen);
+                    }
                 }
+                return old;
             }
-        } else {
             // Descend (allocating the child if needed).
-            let idx = index_bits(addr);
-            let child = match self.nodes[node].entries[idx].child {
-                Some(c) => c as usize,
+            let idx = ((addr >> shift) as usize) & ((1usize << stride) - 1);
+            let slot = self.node_off[node as usize] as usize + idx;
+            node = match entry_child(self.arena[slot]) {
+                Some(c) => c,
                 None => {
-                    let next_stride = self.strides[level + 1];
-                    self.nodes.push(Node {
-                        entries: vec![Entry::default(); 1 << next_stride],
-                    });
-                    let c = self.nodes.len() - 1;
-                    self.nodes[node].entries[idx].child = Some(c as u32);
+                    let c = self.alloc_node(level + 1);
+                    let slot = self.node_off[node as usize] as usize + idx;
+                    self.arena[slot] = with_child(self.arena[slot], c);
                     c
                 }
             };
-            self.insert_level(level + 1, child, addr, plen, value);
+            consumed += stride;
         }
+        unreachable!("strides sum to 32, so every prefix terminates");
+    }
+
+    /// Removes `addr/plen`; returns the stored value if it was present.
+    ///
+    /// Removal is targeted: only the expanded span of the dead prefix is
+    /// repaired (each entry falls back to its longest surviving covering
+    /// prefix, probed from the route map), and nodes emptied by the
+    /// repair are returned to the free list. The paper's control plane
+    /// rebuilt the whole table on update; at 1M prefixes that is a
+    /// multi-hundred-millisecond stall, so the repair touches
+    /// `O(2^stride)` entries instead.
+    pub fn remove(&mut self, addr: u32, plen: u8) -> Option<u32> {
+        assert!(plen <= 32, "prefix length out of range");
+        let addr = mask(addr, plen);
+        let old = self.routes.remove(&(addr, plen))?;
+
+        // Descend to the node the prefix terminates in, recording the
+        // path so emptied nodes can be unlinked on the way back up.
+        let mut node = 0u32;
+        let mut consumed = 0u8;
+        let mut level = 0usize;
+        let mut path: Vec<(u32, usize)> = Vec::new();
+        loop {
+            let stride = self.strides[level];
+            if plen <= consumed + stride {
+                break;
+            }
+            let shift = u32::from(32 - consumed - stride);
+            let idx = ((addr >> shift) as usize) & ((1usize << stride) - 1);
+            path.push((node, idx));
+            let e = self.arena[self.node_off[node as usize] as usize + idx];
+            node = entry_child(e).expect("route map and trie agree on structure");
+            consumed += stride;
+            level += 1;
+        }
+
+        self.repair_span(node, level, consumed, addr, plen);
+
+        // Free nodes emptied by the repair, bottom-up; the root stays.
+        let mut lvl = level;
+        let mut candidate = node;
+        while lvl > 0 && self.node_is_empty(candidate, lvl) {
+            let (parent, idx) = path[lvl - 1];
+            let slot = self.node_off[parent as usize] as usize + idx;
+            self.arena[slot] = without_child(self.arena[slot]);
+            self.free[lvl].push(candidate);
+            self.free_nodes += 1;
+            self.free_entries += 1usize << self.strides[lvl];
+            candidate = parent;
+            lvl -= 1;
+        }
+        Some(old)
+    }
+
+    /// Recomputes every entry in the expanded span of `addr/plen` inside
+    /// `node` from the surviving route map: each entry takes the longest
+    /// prefix terminating in this node that still covers it, or loses
+    /// its value.
+    fn repair_span(&mut self, node: u32, level: usize, consumed: u8, addr: u32, plen: u8) {
+        let stride = self.strides[level];
+        let shift = u32::from(32 - consumed - stride);
+        let fixed = plen - consumed;
+        let span = 1usize << (stride - fixed);
+        let base = (((addr >> shift) as usize) & ((1usize << stride) - 1)) & !(span - 1);
+        let node_prefix = mask(addr, consumed);
+        // Prefixes with plen in this range terminate in this node;
+        // shorter ones live in an ancestor and win via the lookup's
+        // running best. plen 0 (the default route) terminates in the
+        // root.
+        let lo = if level == 0 { 0 } else { consumed + 1 };
+        let off = self.node_off[node as usize] as usize;
+        for i in 0..span {
+            let idx = base + i;
+            let entry_addr = node_prefix | ((idx as u32) << shift);
+            let mut repl: Option<(u32, u8)> = None;
+            for p in (lo..=consumed + stride).rev() {
+                if let Some(&v) = self.routes.get(&(mask(entry_addr, p), p)) {
+                    repl = Some((v, p));
+                    break;
+                }
+            }
+            let e = &mut self.arena[off + idx];
+            *e = match repl {
+                Some((v, p)) => with_value(*e, v, p),
+                None => without_value(*e),
+            };
+        }
+    }
+
+    fn node_is_empty(&self, node: u32, level: usize) -> bool {
+        let off = self.node_off[node as usize] as usize;
+        let size = 1usize << self.strides[level];
+        self.arena[off..off + size].iter().all(|&e| e == 0)
     }
 
     /// Longest-prefix lookup. Returns `(value, levels_touched)`.
@@ -204,13 +341,13 @@ impl PrefixTrie {
         let mut levels = 0u32;
         for (level, &stride) in self.strides.iter().enumerate() {
             levels += 1;
-            let shift = 32 - consumed - stride;
-            let idx = ((addr >> shift) as usize) & ((1 << stride) - 1);
-            let e = &self.nodes[node].entries[idx];
-            if let Some(v) = e.value {
+            let shift = u32::from(32 - consumed - stride);
+            let idx = ((addr >> shift) as usize) & ((1usize << stride) - 1);
+            let e = self.arena[self.node_off[node] as usize + idx];
+            if let Some(v) = entry_value(e) {
                 best = Some(v);
             }
-            match e.child {
+            match entry_child(e) {
                 Some(c) if level + 1 < self.strides.len() => {
                     node = c as usize;
                     consumed += stride;
@@ -232,8 +369,10 @@ impl PrefixTrie {
     /// Shape and lookup statistics.
     pub fn stats(&self) -> TrieStats {
         TrieStats {
-            nodes: self.nodes.len(),
-            entries: self.nodes.iter().map(|n| n.entries.len()).sum(),
+            nodes: self.node_off.len() - self.free_nodes,
+            entries: self.arena.len() - self.free_entries,
+            bytes: self.arena.len() * std::mem::size_of::<u64>()
+                + self.node_off.len() * std::mem::size_of::<u32>(),
             lookups: self.stats_lookups.get(),
             levels_touched: self.stats_levels.get(),
         }
@@ -244,14 +383,14 @@ impl PrefixTrie {
     pub fn lookup_naive(&self, addr: u32) -> Option<u32> {
         self.routes
             .iter()
-            .filter(|&&(a, l, _)| mask(addr, l) == a)
-            .max_by_key(|&&(_, l, _)| l)
-            .map(|&(_, _, v)| v)
+            .filter(|&(&(a, l), _)| mask(addr, l) == a)
+            .max_by_key(|&(&(_, l), _)| l)
+            .map(|(_, &v)| v)
     }
 }
 
 /// Masks `addr` to its top `plen` bits.
-fn mask(addr: u32, plen: u8) -> u32 {
+pub(crate) fn mask(addr: u32, plen: u8) -> u32 {
     if plen == 0 {
         0
     } else {
@@ -308,10 +447,10 @@ mod tests {
     }
 
     #[test]
-    fn reinsert_overwrites() {
+    fn reinsert_overwrites_and_returns_old() {
         let mut t = PrefixTrie::ipv4_default();
-        t.insert(0x0a000000, 8, 1);
-        t.insert(0x0a000000, 8, 7);
+        assert_eq!(t.insert(0x0a000000, 8, 1), None);
+        assert_eq!(t.insert(0x0a000000, 8, 7), Some(1));
         assert_eq!(t.lookup(0x0a123456).0, Some(7));
         assert_eq!(t.route_count(), 1);
     }
@@ -321,9 +460,22 @@ mod tests {
         let mut t = PrefixTrie::ipv4_default();
         t.insert(0x0a000000, 8, 1);
         t.insert(0x0a0a0000, 16, 2);
-        assert!(t.remove(0x0a0a0000, 16));
+        assert_eq!(t.remove(0x0a0a0000, 16), Some(2));
         assert_eq!(t.lookup(0x0a0a0101).0, Some(1));
-        assert!(!t.remove(0x0a0a0000, 16));
+        assert_eq!(t.remove(0x0a0a0000, 16), None);
+    }
+
+    #[test]
+    fn remove_repairs_between_specifics() {
+        // /24 routes survive the removal of the /16 between them.
+        let mut t = PrefixTrie::ipv4_default();
+        t.insert(0x0a0a0000, 16, 1);
+        t.insert(0x0a0a0a00, 24, 2);
+        t.insert(0x0a0a0b00, 24, 3);
+        assert_eq!(t.remove(0x0a0a0000, 16), Some(1));
+        assert_eq!(t.lookup(0x0a0a0a01).0, Some(2));
+        assert_eq!(t.lookup(0x0a0a0b01).0, Some(3));
+        assert_eq!(t.lookup(0x0a0a0c01).0, None);
     }
 
     #[test]
@@ -356,6 +508,32 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.lookups, 2);
         assert!(s.mean_levels() > 1.0);
+        assert_eq!(s.bytes, s.entries * 8 + 3 * 4);
+    }
+
+    #[test]
+    fn churn_reuses_freed_nodes() {
+        let mut t = PrefixTrie::ipv4_default();
+        let flat = t.stats();
+        for round in 0..50u32 {
+            t.insert(0x0a0a0a00, 24, round);
+            t.insert(0x0a0a0a0a, 32, round);
+            assert_eq!(t.stats().nodes, 3);
+            assert!(t.remove(0x0a0a0a00, 24).is_some());
+            assert!(t.remove(0x0a0a0a0a, 32).is_some());
+            // Both child nodes return to the free list...
+            assert_eq!(t.stats().nodes, 1);
+            assert_eq!(t.stats().entries, flat.entries);
+        }
+        // ...and the arena never grew past one round's footprint.
+        assert_eq!(t.stats().bytes, (1 << 16) * 8 + 3 * 4 + 2 * 256 * 8);
+    }
+
+    #[test]
+    fn full_value_range_roundtrips() {
+        let mut t = PrefixTrie::ipv4_default();
+        t.insert(0x0a000000, 8, u32::MAX);
+        assert_eq!(t.lookup(0x0affffff).0, Some(u32::MAX));
     }
 
     proptest! {
@@ -389,16 +567,41 @@ mod tests {
             // A trie freshly built from the surviving routes must agree.
             let mut fresh = PrefixTrie::ipv4_default();
             let masked = |a: u32, l: u8| super::mask(a, l);
-            let mut seen = std::collections::HashSet::new();
             for &(a, l, v) in &routes {
                 if masked(a, l) == masked(ka, kl) && l == kl {
                     continue;
                 }
-                seen.insert((masked(a, l), l));
                 fresh.insert(a, l, v);
             }
             for &p in &probes {
                 prop_assert_eq!(t.lookup(p).0, fresh.lookup(p).0);
+            }
+        }
+
+        /// Satellite coverage: a whole interleaved insert/remove history
+        /// of overlapping prefixes, checked after every removal — the
+        /// repaired entries must always fall back to the correct shorter
+        /// match (the naive oracle over the surviving route map).
+        #[test]
+        fn interleaved_churn_falls_back_correctly(
+            routes in npr_check::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 1..24),
+            ops in npr_check::collection::vec((any::<npr_check::sample::Index>(), any::<bool>()), 1..48),
+            probes in npr_check::collection::vec(any::<u32>(), 1..16),
+        ) {
+            let mut t = PrefixTrie::ipv4_default();
+            for (i, insert) in &ops {
+                let (a, l, _) = routes[i.index(routes.len())];
+                if *insert {
+                    t.insert(a, l, u32::from(l) + 1);
+                } else {
+                    t.remove(a, l);
+                }
+                for &p in &probes {
+                    prop_assert_eq!(t.lookup(p).0, t.lookup_naive(p), "probe {:#x}", p);
+                }
+                // Probe the churned prefix's own span too: host bits set.
+                let edge = super::mask(a, l) | !super::mask(u32::MAX, l);
+                prop_assert_eq!(t.lookup(edge).0, t.lookup_naive(edge));
             }
         }
     }

@@ -1,0 +1,45 @@
+//! Internet-scale smoke test: build a synthetic BGP-like table, look up
+//! sampled destinations, then tear the whole thing back down.
+//!
+//! The prefix count is scaled down under `debug_assertions` so `cargo
+//! test` stays fast; the release run (verify.sh) exercises the full
+//! million-prefix table the tentpole targets.
+
+use npr_route::gen::{sample_dsts, synth_table, TableSpec};
+use npr_route::{Invalidation, RoutingTable};
+
+#[test]
+fn million_prefix_build_lookup_teardown() {
+    let prefixes = if cfg!(debug_assertions) { 50_000 } else { 1_000_000 };
+    let spec = TableSpec::internet(prefixes, 0x5CA1_AB1E);
+    let routes = synth_table(&spec);
+    assert!(routes.len() >= prefixes * 9 / 10, "generator saturated early: {}", routes.len());
+
+    let mut table = RoutingTable::with_config(&[16, 8, 8], 4096, Invalidation::Targeted);
+    table.load(routes.iter().cloned());
+    assert_eq!(table.route_count(), routes.len());
+
+    let stats = table.trie_stats();
+    // The flat arena must stay within a sane envelope: the stride-16 root
+    // plus at most one child node per distinct /16 and /24 covered.
+    let ceiling = (1usize << 16) * 8 + routes.len() * 2 * 256 * 8;
+    assert!(stats.bytes <= ceiling, "arena {} bytes > ceiling {}", stats.bytes, ceiling);
+
+    // Every sampled destination (host bits under a real route) resolves.
+    for dst in sample_dsts(&routes, 10_000, 7) {
+        assert!(table.lookup_slow(dst).0.is_some(), "no route for {dst:#010x}");
+    }
+
+    // Teardown: withdrawing everything must free every node and every
+    // next-hop slot (the leak fix), leaving only the permanent root.
+    for r in &routes {
+        assert!(table.remove(r.addr, r.plen));
+    }
+    assert_eq!(table.route_count(), 0);
+    assert_eq!(table.next_hop_count(), 0);
+    let empty = table.trie_stats();
+    assert_eq!(empty.nodes, 1, "non-root nodes leaked");
+    for dst in sample_dsts(&routes, 100, 8) {
+        assert!(table.lookup_slow(dst).0.is_none());
+    }
+}

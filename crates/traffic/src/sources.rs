@@ -173,6 +173,77 @@ impl TrafficSource for SynFloodSource {
     }
 }
 
+/// Zipf-popularity destination source: frame `i` addresses `dsts[rank]`
+/// where `rank` is drawn with weight `1/(rank+1)^alpha` — the
+/// heavy-tail flow popularity a route cache lives or dies under. At
+/// `alpha ~ 1` a few thousand ranked destinations carry most of the
+/// load while the tail churns cache slots; destination lists come from
+/// `npr_route::gen::sample_dsts` so the offered load actually exercises
+/// a generated table.
+pub struct ZipfSource {
+    spec: FrameSpec,
+    interval_ps: Time,
+    next_at: Time,
+    /// Cumulative popularity, `cdf[last] == 1.0`.
+    cdf: Vec<f64>,
+    dsts: Vec<u32>,
+    rng: XorShift64,
+    remaining: u64,
+}
+
+impl ZipfSource {
+    /// Creates the source over ranked `dsts` (most popular first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dsts` is empty.
+    pub fn new(
+        spec: FrameSpec,
+        pps: f64,
+        dsts: Vec<u32>,
+        alpha: f64,
+        seed: u64,
+        remaining: u64,
+    ) -> Self {
+        assert!(!dsts.is_empty(), "empty destination list");
+        let mut cdf = Vec::with_capacity(dsts.len());
+        let mut total = 0.0f64;
+        for rank in 0..dsts.len() {
+            total += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self {
+            spec,
+            interval_ps: (PS_PER_SEC as f64 / pps) as Time,
+            next_at: 0,
+            cdf,
+            dsts,
+            rng: XorShift64::new(seed),
+            remaining,
+        }
+    }
+}
+
+impl TrafficSource for ZipfSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let t = self.next_at;
+        self.next_at += self.interval_ps;
+        let u = self.rng.next_f64();
+        let rank = self.cdf.partition_point(|&c| c < u);
+        let mut spec = self.spec;
+        spec.dst = self.dsts[rank.min(self.dsts.len() - 1)];
+        Some((t, udp_frame(&spec, &[])))
+    }
+}
+
 /// Interleaves several sources by timestamp (merge by next arrival).
 pub struct MixSource {
     sources: Vec<Box<dyn TrafficSource>>,
@@ -283,6 +354,26 @@ mod tests {
             srcs.insert(u32::from_be_bytes([f[26], f[27], f[28], f[29]]));
         }
         assert!(srcs.len() > 90);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_head_heavy() {
+        let dsts: Vec<u32> = (0..1000).map(|i| 0x0a00_0000 + i).collect();
+        let mut counts = vec![0u64; dsts.len()];
+        let mut s = ZipfSource::new(FrameSpec::default(), 1e6, dsts.clone(), 1.0, 9, 20_000);
+        while let Some((_, f)) = s.next_frame() {
+            let d = u32::from_be_bytes([f[30], f[31], f[32], f[33]]);
+            counts[(d - 0x0a00_0000) as usize] += 1;
+        }
+        // Rank 0 dominates a deep-tail rank by roughly its 1/(r+1) weight.
+        assert!(counts[0] > 50 * counts[900].max(1), "head {} tail {}", counts[0], counts[900]);
+        // Same seed replays the same destination sequence.
+        let mut a = ZipfSource::new(FrameSpec::default(), 1e6, dsts.clone(), 1.0, 9, 100);
+        let mut b = ZipfSource::new(FrameSpec::default(), 1e6, dsts, 1.0, 9, 100);
+        while let Some((ta, fa)) = a.next_frame() {
+            let (tb, fb) = b.next_frame().unwrap();
+            assert_eq!((ta, fa), (tb, fb));
+        }
     }
 
     #[test]

@@ -184,6 +184,34 @@ if [ ! -s BENCH_recovery.json ]; then
     exit 1
 fi
 
+# The route suite is the internet-scale gate: run it explicitly in
+# release so the million-prefix build/teardown smoke test and the
+# interleaved-churn property test execute at full size, and fail if it
+# ran zero tests.
+route_out="$(cargo test -q --release --offline -p npr-route 2>&1)" || {
+    echo "$route_out"
+    echo "ERROR: route suite failed" >&2
+    exit 1
+}
+echo "$route_out"
+if ! echo "$route_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+    echo "ERROR: route suite ran zero tests" >&2
+    exit 1
+fi
+
+# Record the internet-scale routing sweeps (lookup scaling, Zipf cache
+# hit rate, churn storms). The Zipf alpha=1.0 hit rate is deterministic
+# (simulated traffic over a seed-fixed table) and must keep the
+# 4096-slot cache at least half warm — below that the StrongARM miss
+# path, not the MEs, would set the router's forwarding rate.
+cargo run --release --offline -p npr-bench --bin experiments -- route --out BENCH_route.json
+zipf_hit="$(grep '"alpha": 1.00' BENCH_route.json | grep -o '"hit_rate": [0-9.]*' | grep -o '[0-9.]*$')"
+if ! awk -v h="${zipf_hit:-0}" 'BEGIN { exit !(h >= 0.5) }'; then
+    echo "ERROR: Zipf alpha=1.0 route-cache hit rate ${zipf_hit:-missing} < 0.5" >&2
+    exit 1
+fi
+echo "route cache: zipf alpha=1.0 hit rate ${zipf_hit}"
+
 
 # Hermetic-build gate: the dependency graph may contain only workspace
 # crates. Check both the resolved tree and the lockfile.
