@@ -211,7 +211,8 @@ fn bench_extensions(c: &mut Criterion) {
     // Two-chassis fabric epoch stepping.
     g.bench_function("fabric_2x", |b| {
         b.iter(|| {
-            let mut f = npr_core::Fabric::new(2, RouterConfig::line_rate());
+            let mut f =
+                npr_fabric::Fabric::new(npr_fabric::FabricConfig::single_switch(2, RouterConfig::line_rate()));
             f.member_mut(0).attach_cbr(0, 0.5, 200, 9);
             f.run_until(ms(5), 0);
             f.switched()

@@ -15,6 +15,7 @@ pub mod exp_ablations;
 pub mod exp_backend;
 pub mod exp_baseline;
 pub mod exp_control;
+pub mod exp_fabric;
 pub mod exp_faults;
 pub mod exp_figures;
 pub mod exp_recovery;
@@ -26,6 +27,9 @@ pub mod fmt;
 pub use exp_backend::{backend_axis, BackendAxis};
 pub use exp_baseline::{baseline, BaselineResult};
 pub use exp_control::{control_json, control_storm, ControlResult};
+pub use exp_fabric::{
+    fabric_experiment, fabric_json, fabric_scaling, fabric_soak, FabricResult, FABRIC_SIZES,
+};
 pub use exp_faults::{
     curves_json, fault_curve, fault_curves, fault_curves_threaded, FaultCurve, DEGRADE_RATES,
 };

@@ -9,14 +9,16 @@
 //!   control [--out PATH]
 //!   recovery [--out PATH]
 //!   route [--out PATH]
+//!   fabric [--out PATH]
 //!   all
 //! ```
 
 use npr_bench::fmt;
 use npr_bench::{
-    baseline, budget, control_json, control_storm, curves_json, fault_curves, fig10, fig7, fig9,
-    flood, linerate, recovery, recovery_json, robustness, route_experiment, route_json, slowpath,
-    strongarm, table1, table2, table3, table4, table5_rows, DEGRADE_RATES, WARMUP, WINDOW,
+    baseline, budget, control_json, control_storm, curves_json, fabric_experiment, fabric_json,
+    fault_curves, fig10, fig7, fig9, flood, linerate, recovery, recovery_json, robustness,
+    route_experiment, route_json, slowpath, strongarm, table1, table2, table3, table4, table5_rows,
+    DEGRADE_RATES, WARMUP, WINDOW,
 };
 use npr_forwarders::PadKind;
 
@@ -38,6 +40,8 @@ fn main() {
              \n                                       recovery episodes (PATH gets the JSON)\
              \n  route [--out PATH]                   internet-scale lookup, Zipf cache\
              \n                                       hit rate, churn storms (PATH gets JSON)\
+             \n  fabric [--out PATH]                  multi-chassis Mpps scaling per topology\
+             \n                                       + fault soak (PATH gets the JSON)\
              \n  all                                  everything (default)\n\
              \nSee also the `ablations` binary for beyond-the-paper studies."
         );
@@ -322,6 +326,40 @@ fn main() {
             .and_then(|i| args.get(i + 1))
         {
             std::fs::write(p, route_json(&r)).expect("write BENCH_route.json");
+            eprintln!("wrote {p}");
+        }
+    }
+    if all || which == "fabric" {
+        let r = fabric_experiment();
+        println!("\n== Multi-chassis fabric: aggregate Mpps vs cluster size ==");
+        println!(
+            "{:<14} {:>8} {:>8} {:>13} {:>14} {:>10} {:>11}",
+            "topology", "chassis", "threads", "offered Mpps", "external Mpps", "switched", "link drops"
+        );
+        for p in &r.scaling {
+            println!(
+                "{:<14} {:>8} {:>8} {:>13.3} {:>14.3} {:>10} {:>11}",
+                p.topology, p.chassis, p.threads, p.offered_mpps, p.external_mpps, p.switched, p.link_drops
+            );
+        }
+        println!("\n-- compound-fault conservation soak (4 chassis per topology) --");
+        for p in &r.soak {
+            println!(
+                "{:<14} injected {:>6} | sa resets {:>3} | fabric drops {:>5} | conservation {}",
+                p.topology,
+                p.injected,
+                p.sa_resets,
+                p.fabric_drops,
+                if p.conservation_holds { "HOLDS" } else { "BROKEN" }
+            );
+        }
+        println!("(the ring flattens as transit hops contend; spine/leaf holds its slope)");
+        if let Some(p) = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+        {
+            std::fs::write(p, fabric_json(&r)).expect("write BENCH_fabric.json");
             eprintln!("wrote {p}");
         }
     }

@@ -35,7 +35,6 @@ pub mod classify;
 pub mod config;
 pub mod control;
 pub mod costs;
-pub mod fabric;
 pub mod health;
 pub mod input;
 pub mod install;
@@ -56,9 +55,9 @@ pub use classify::{Classifier, FlowKey, Key, WhereRun};
 pub use config::{RouterConfig, TrafficTemplate};
 pub use control::InstalledEntry;
 pub use costs::{InputCosts, OutputCosts, PeCosts, SaCosts, INPUT_MEM_OPS, OUTPUT_MEM_OPS};
-pub use fabric::Fabric;
 pub use health::{FwdrStat, HealthMonitor, HealthStats};
 pub use install::{AdmitError, Fid, InstallRequest};
+pub use pe::PeAction;
 pub use plane::{Bus, ControlOp, ControlVerb, CtlStats, Plane, PlaneEvent, PlaneId, PlaneSignal};
 pub use queues::{InputDiscipline, OutputDiscipline, PacketQueue, QueuePlane};
 pub use report::{Conservation, Report};

@@ -369,7 +369,11 @@ impl Router {
         );
     }
 
-    pub(crate) fn start(&mut self) {
+    /// Primes the port schedules and StrongARM feed (idempotent).
+    /// `run_until`/`poke_port` call this implicitly; `npr-fabric` calls
+    /// it explicitly before handing members to the delivery engine,
+    /// whose `next_time` probe would see an unstarted router as idle.
+    pub fn start(&mut self) {
         if self.started {
             return;
         }

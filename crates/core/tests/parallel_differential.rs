@@ -1,164 +1,24 @@
-//! Router-level lock-step differential for the parallel delivery
-//! engine: a multi-chassis fabric run under `Parallel` at threads
-//! {2, 4, 8} must be bit-identical to the single-threaded sequential
-//! oracle — same packet counts and digests (via [`Router::fingerprint`]
-//! folded into [`Fabric::fingerprint`]), same drop ledgers, same health
-//! decisions (including the order of quarantines), across the full
-//! 8-class fault corpus. The engine-level twin
-//! (`crates/sim/tests/parallel_differential.rs`) isolates the engine;
-//! this suite proves the property survives contact with the real
-//! router.
-//!
-//! Also covers the scenario-sweep sharding (`npr_sim::scatter`): N
+//! Scenario-sweep sharding differential (`npr_sim::scatter`): N
 //! independent fault-injected routers run across worker threads must
 //! produce exactly the fingerprints of the sequential sweep — the
 //! equality the parallel fault-sweep benchmark rests on.
 //!
+//! The fabric-level twin (whole multi-chassis fabrics under the
+//! `Parallel` strategy across the full fault corpus) lives with the
+//! fabric itself: `crates/fabric/tests/parallel_differential.rs`.
+//!
 //! `scripts/verify.sh` runs this in release with a zero-tests-ran
 //! check, like the other differential gates.
 
-use npr_core::fabric::Fabric;
-use npr_core::{ms, InstallRequest, Key, Router, RouterConfig};
+use npr_core::{ms, Router, RouterConfig};
 use npr_sim::fault::FAULT_CLASSES;
 use npr_sim::{scatter, FaultClass, FaultPlan, Time};
-use npr_traffic::{CbrSource, FrameSpec};
 
 const THREADS: [usize; 3] = [2, 4, 8];
 const HORIZON: Time = ms(if cfg!(debug_assertions) { 2 } else { 8 });
 const FRAMES: u64 = if cfg!(debug_assertions) { 120 } else { 500 };
 
-/// A 3-member fabric with ring cross-traffic, a local stream, an ME
-/// forwarder installed on member 0, and (optionally) a fault plan armed
-/// on every member — deterministic given `rates`.
-fn build_fabric(rates: &[(FaultClass, u32)]) -> Fabric {
-    let mut cfg = RouterConfig::line_rate();
-    cfg.divert_sa_permille = 50;
-    // A fat slice of PE-diverted traffic keeps the PCI bus busy so the
-    // PciError injector has transactions to abort even over the short
-    // debug horizon.
-    cfg.divert_pe_permille = 100;
-    let mut f = Fabric::new(3, cfg);
-    for k in 0..3usize {
-        let dst_net = (((k + 1) % 3) * 8) as u8;
-        f.member_mut(k).attach_source(
-            0,
-            Box::new(CbrSource::new(
-                100_000_000,
-                0.8,
-                FrameSpec {
-                    dst: u32::from_be_bytes([10, dst_net, 0, 1]),
-                    ..Default::default()
-                },
-                FRAMES,
-            )),
-        );
-        // A local stream that never crosses the switch keeps every
-        // member busy between barriers.
-        f.member_mut(k)
-            .attach_cbr(1, 0.5, FRAMES / 2, (k * 8 + 4) as u8);
-        if !rates.is_empty() {
-            let mut plan = FaultPlan::new(0xFAB_D1FF ^ (k as u64) << 13);
-            for &(class, ppm) in rates {
-                plan.set_rate(class, ppm);
-            }
-            f.member_mut(k).set_fault_plan(Some(plan));
-        }
-    }
-    f.member_mut(0)
-        .install(
-            Key::All,
-            InstallRequest::Me {
-                prog: npr_forwarders::syn_monitor().unwrap(),
-            },
-            None,
-        )
-        .unwrap();
-    f
-}
-
-/// Every observable the differential compares, with field-level error
-/// messages (the fingerprint alone would say "something diverged").
-#[derive(Debug, PartialEq)]
-struct Observed {
-    fingerprint: u64,
-    switched: u64,
-    switch_drops: u64,
-    external_tx: u64,
-    total_drops: u64,
-    ledgers: Vec<npr_core::Conservation>,
-    health: Vec<(u64, u64, u64, u64)>,
-    injected: Vec<u64>,
-}
-
-fn observe(f: &Fabric) -> Observed {
-    Observed {
-        fingerprint: f.fingerprint(),
-        switched: f.switched(),
-        switch_drops: f.switch_drops(),
-        external_tx: f.external_tx(),
-        total_drops: f.total_drops(),
-        ledgers: f.members().map(|r| r.conservation()).collect(),
-        health: f
-            .members()
-            .map(|r| {
-                let s = &r.health.stats;
-                (s.warnings, s.throttles, s.quarantines, s.sa_resets)
-            })
-            .collect(),
-        injected: f
-            .members()
-            .map(|r| r.fault_plan().map_or(0, |p| p.total_injected()))
-            .collect(),
-    }
-}
-
-fn run_fabric(rates: &[(FaultClass, u32)], threads: usize) -> Observed {
-    let mut f = build_fabric(rates);
-    f.run_lockstep(HORIZON, threads);
-    observe(&f)
-}
-
-#[test]
-fn fault_free_fabric_is_identical_at_every_thread_count() {
-    let oracle = run_fabric(&[], 1);
-    assert!(oracle.switched > 0, "scenario never crossed the switch");
-    for threads in THREADS {
-        assert_eq!(run_fabric(&[], threads), oracle, "threads={threads}");
-    }
-}
-
-#[test]
-fn full_fault_corpus_is_identical_at_every_thread_count() {
-    // Every class singly, at a rate scaled like the soak's compound
-    // plan; each must inject and still replay bit-for-bit in parallel.
-    for class in FAULT_CLASSES {
-        let rates = [(class, corpus_rate(class))];
-        let oracle = run_fabric(&rates, 1);
-        assert!(
-            oracle.injected.iter().sum::<u64>() > 0,
-            "{class:?} injected nothing — the corpus run proves nothing"
-        );
-        for threads in THREADS {
-            assert_eq!(
-                run_fabric(&rates, threads),
-                oracle,
-                "{class:?} threads={threads}"
-            );
-        }
-    }
-}
-
-#[test]
-fn compound_chaos_fabric_is_identical_at_every_thread_count() {
-    let rates: Vec<_> = FAULT_CLASSES.map(|c| (c, corpus_rate(c))).to_vec();
-    let oracle = run_fabric(&rates, 1);
-    assert!(oracle.injected.iter().sum::<u64>() > 0);
-    for threads in THREADS {
-        assert_eq!(run_fabric(&rates, threads), oracle, "threads={threads}");
-    }
-}
-
-/// Soak-style compound rates, halved (three routers share the horizon).
+/// Soak-style compound rates, halved (matches the fabric corpus).
 fn corpus_rate(class: FaultClass) -> u32 {
     match class {
         FaultClass::MemStall => 1_000,
@@ -167,10 +27,6 @@ fn corpus_rate(class: FaultClass) -> u32 {
         FaultClass::TokenDuplicate => 2_500,
         FaultClass::PortFlap => 1_000,
         FaultClass::MpCorrupt => 5_000,
-        // The PCI hook rolls once per transaction (plus once per
-        // retry), and only the PE-diverted slice crosses the bus — a
-        // recovery-bench-level rate guarantees hits on the short debug
-        // horizon.
         FaultClass::PciError => 400_000,
         FaultClass::SaWedge => 30_000,
     }
@@ -211,10 +67,11 @@ fn scatter_sweep_matches_sequential_at_every_thread_count() {
 }
 
 #[test]
-fn repeat_lockstep_runs_are_stable() {
-    // Same seed, same thread count, two runs: byte-identical. Guards
+fn repeat_scatter_runs_are_stable() {
+    // Same seeds, same thread count, two runs: byte-identical. Guards
     // against hidden host-side nondeterminism (hash iteration, time).
-    let a = run_fabric(&[(FaultClass::SaWedge, 30_000)], 4);
-    let b = run_fabric(&[(FaultClass::SaWedge, 30_000)], 4);
+    let n = FAULT_CLASSES.len();
+    let a = scatter(n, 4, sweep_scenario);
+    let b = scatter(n, 4, sweep_scenario);
     assert_eq!(a, b);
 }

@@ -1,36 +1,81 @@
-//! The paper's future-work configuration, built: four Pentium/IXP pairs
-//! behind a gigabit switch, forwarding across chassis with no loss.
+//! The paper's future-work configuration, grown up: four Pentium/IXP
+//! pairs as the leaves of a two-spine fabric, forwarding across chassis
+//! through modeled gigabit links — then surviving the operations a real
+//! cluster sees: an uplink dies mid-burst (traffic fails over to the
+//! other spine via each member's simulated control path), one chassis
+//! is administratively drained (neighbors count the re-steered loss
+//! visibly), and re-joined as a fresh incarnation (generation-fenced,
+//! its provisioning replayed through the new control path).
+//!
+//! A packet's cross-fabric journey is narrated with the trace layer:
+//! once through the ingress leaf (external port to spine uplink) and
+//! once through the egress leaf (fabric inbox to external port).
 //!
 //! ```text
 //! cargo run --release --example multi_chassis
 //! ```
 
-use npr_core::{ms, Fabric, RouterConfig};
-use npr_traffic::{CbrSource, FrameSpec};
+use npr_core::{ms, us, InstallRequest, Key};
+use npr_core::RouterConfig;
+use npr_fabric::{Fabric, FabricConfig, UPLINK_PORT};
+use npr_traffic::{CbrSource, FrameSpec, TraceSource};
+
+/// A finite burst with explicit timestamps starting at `from` — for
+/// traffic attached after the fabric clock has advanced (a CBR source
+/// stamps from zero).
+fn burst(from: npr_sim::Time, dst_net: u8, frames: u64) -> Box<TraceSource> {
+    let spec = FrameSpec {
+        dst: u32::from_be_bytes([10, dst_net, 0, 1]),
+        ..Default::default()
+    };
+    Box::new(TraceSource::new(
+        (0..frames)
+            .map(|i| (from + i * us(15), npr_traffic::udp_frame(&spec, &[])))
+            .collect(),
+    ))
+}
 
 fn main() {
-    let mut fabric = Fabric::new(4, RouterConfig::line_rate());
+    let mut fabric = Fabric::new(FabricConfig::spine_leaf(4, RouterConfig::line_rate()));
 
-    // Every member's external port 0 receives a 90%-line-rate stream
-    // addressed to the *next* member's subnets — all of it must cross
-    // the internal gigabit links.
-    for k in 0..4usize {
-        let dst_net = (((k + 1) % 4) * 8 + 2) as u8;
-        fabric.member_mut(k).attach_source(
-            0,
-            Box::new(CbrSource::new(
-                100_000_000,
-                0.9,
-                FrameSpec {
-                    dst: u32::from_be_bytes([10, dst_net, 0, 1]),
-                    ..Default::default()
+    // Provisioning registered through the fabric is replayed into every
+    // future incarnation of the member on re-join.
+    fabric.set_provision(
+        1,
+        Box::new(|r| {
+            r.install(
+                Key::All,
+                InstallRequest::Me {
+                    prog: npr_forwarders::syn_monitor().unwrap(),
                 },
-                4_000,
-            )),
-        );
-        // Plus a local stream that must never touch the switch.
+                None,
+            )
+            .unwrap();
+        }),
+    );
+
+    // Two cross-fabric streams per leaf — one to the next leaf (these
+    // all prefer spine 1) and one to the opposite leaf (spine 0) — plus
+    // a local stream that never touches the fabric.
+    for k in 0..4usize {
+        let near = (((k + 1) % 4) * 8 + 1) as u8;
+        let far = (((k + 2) % 4) * 8 + 2) as u8;
+        for (port, dst_net, frames) in [(0, near, 400u64), (1, far, 400)] {
+            fabric.member_mut(k).attach_source(
+                port,
+                Box::new(CbrSource::new(
+                    100_000_000,
+                    0.8,
+                    FrameSpec {
+                        dst: u32::from_be_bytes([10, dst_net, 0, 1]),
+                        ..Default::default()
+                    },
+                    frames,
+                )),
+            );
+        }
         fabric.member_mut(k).attach_source(
-            1,
+            2,
             Box::new(CbrSource::new(
                 100_000_000,
                 0.5,
@@ -38,32 +83,106 @@ fn main() {
                     dst: u32::from_be_bytes([10, (k * 8 + 5) as u8, 0, 1]),
                     ..Default::default()
                 },
-                2_000,
+                300,
             )),
         );
     }
 
-    fabric.run_until(ms(60), 0);
+    // Narrate one cross-fabric destination on both sides of the hop.
+    let traced = u32::from_be_bytes([10, 9, 0, 1]); // leaf 0 -> leaf 1
+    fabric.member_mut(0).trace_destination(traced, 32);
+    fabric.member_mut(1).trace_destination(traced, 32);
 
-    println!("=== 4-chassis fabric ===");
-    println!("frames switched between chassis : {}", fabric.switched());
+    // === Phase 1: steady state under the parallel lockstep engine ===
+    fabric.run_lockstep(ms(2), 2);
+    println!("=== 4-leaf / 2-spine fabric, t = 2 ms ===");
+    println!("frames switched between chassis  : {}", fabric.switched());
+    println!("frames delivered on external ports: {}", fabric.external_tx());
+    println!();
+    println!("--- trace: 10.9.0.1 through leaf 0 (ingress -> spine uplink) ---");
+    print!("{}", fabric.member(0).trace().render());
+    println!("--- trace: 10.9.0.1 through leaf 1 (fabric inbox -> external) ---");
+    print!("{}", fabric.member(1).trace().render());
+
+    // === Phase 2: spine-0 uplink on leaf 0 dies mid-burst ===
+    let spine0_before = fabric.link(0, 0).frames;
+    fabric.fail_link(0, 0);
+    println!();
     println!(
-        "frames delivered on external ports: {}",
-        fabric.external_tx()
+        "leaf 0 spine-0 uplink DOWN after {spine0_before} frames; \
+         {} route updates rode members' control paths",
+        fabric.resteer_ops()
     );
+    fabric.run_lockstep(ms(5), 2);
+    fabric.restore_link(0, 0);
     println!(
-        "drops anywhere                   : {}",
-        fabric.total_drops()
+        "leaf 0 uplink restored; spine-1 link carried {} frames during failover \
+         ({} frames died on the downed link, counted)",
+        fabric.link(0, 1).frames,
+        fabric.link_drops()
     );
-    for (k, m) in fabric.members().enumerate() {
-        let up = &m.ixp.hw.ports[npr_core::fabric::UPLINK_PORT];
-        println!(
-            "member {k}: uplink tx {} rx {} frames",
-            up.tx_frames, up.rx_frames
-        );
-    }
-    assert_eq!(fabric.switched(), 16_000);
-    assert_eq!(fabric.external_tx(), 24_000);
-    assert_eq!(fabric.total_drops(), 0);
-    println!("OK: cross-chassis forwarding at line rate with zero loss.");
+    assert!(
+        fabric.link(0, 1).frames > 0,
+        "failover never moved traffic to the surviving spine"
+    );
+
+    // === Phase 3: drain leaf 1 (sources are exhausted by now) ===
+    fabric.run_lockstep(ms(8), 2);
+    assert!(fabric.drain_chassis(1, us(100), 4_000), "leaf 1 failed to quiesce");
+    println!();
+    println!("leaf 1 DRAINED (quiet at t = {} ps)", fabric.now());
+
+    // Traffic toward a drained member is a counted loss at the
+    // neighbor, never a silent one.
+    let before = fabric.member(0).conservation().no_route_drops;
+    let from = fabric.now();
+    fabric.member_mut(0).attach_source(3, burst(from, 10, 30));
+    fabric.run_lockstep(from + ms(1), 2);
+    let lost = fabric.member(0).conservation().no_route_drops - before;
+    println!("leaf 0 counted {lost} no-route drops toward the drained leaf");
+    assert!(lost > 0, "re-steered loss was silent");
+
+    // === Phase 4: re-join as a fresh incarnation ===
+    fabric.rejoin_chassis(1);
+    let installed = fabric.member(1).installed();
+    println!(
+        "leaf 1 RE-JOINED: generation fence dropped {} stale frames, \
+         provisioning replayed ({})",
+        fabric.fenced_drops(),
+        installed
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    assert_eq!(installed.len(), 1, "provisioning did not replay");
+
+    // The cluster is steered back: cross-fabric traffic reaches the
+    // new incarnation.
+    let from = fabric.now();
+    fabric.member_mut(3).attach_source(3, burst(from, 9, 40));
+    fabric.run_lockstep(from + ms(2), 2);
+    assert!(fabric.drain(us(100), 4_000), "fabric failed to quiesce");
+    let delivered = fabric.member(1).ixp.hw.ports[1].tx_frames;
+    println!("leaf 3 -> re-joined leaf 1: {delivered} frames delivered");
+    assert_eq!(delivered, 40, "re-joined leaf is not forwarding");
+
+    // === Final audit ===
+    let report = fabric.report();
+    let uplink_tx: u64 = (0..4)
+        .map(|k| {
+            let m = fabric.member(k);
+            m.ixp.hw.ports[UPLINK_PORT].tx_frames + m.ixp.hw.ports[UPLINK_PORT + 1].tx_frames
+        })
+        .sum();
+    println!();
+    println!("=== final cluster report ===");
+    println!("switched {} | external tx {} | uplink tx {}", report.switched, fabric.external_tx(), uplink_tx);
+    println!(
+        "resteer ops {} | link drops {} | fenced {} | switch drops {}",
+        report.resteer_ops, report.link_drops, report.fenced_drops, report.switch_drops
+    );
+    let c = fabric.conservation();
+    assert!(c.holds(), "fabric conservation broke: {c:?}");
+    println!("OK: failover, drain, and re-join with every frame accounted for.");
 }

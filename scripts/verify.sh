@@ -101,6 +101,28 @@ if ! echo "$par_core_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; th
     exit 1
 fi
 
+# The fabric gates: the multi-chassis topology crate must (a) keep the
+# single-switch topology bit-identical to the pre-refactor fabric and
+# the lockstep engine thread-invariant on every topology (differential
+# suite, which carries the pinned fingerprints), (b) contain every
+# fault class to the armed chassis and survive link failure, drain,
+# and re-join with whole-fabric conservation (fault suite), and (c)
+# replay whole clusters bit-for-bit under the parallel engine across
+# the fault corpus (parallel differential). Release; zero tests
+# executed fails each gate.
+for suite in differential faults parallel_differential; do
+    fabric_out="$(cargo test -q --release --offline -p npr-fabric --test "$suite" 2>&1)" || {
+        echo "$fabric_out"
+        echo "ERROR: fabric $suite suite failed" >&2
+        exit 1
+    }
+    echo "$fabric_out"
+    if ! echo "$fabric_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+        echo "ERROR: fabric $suite suite ran zero tests" >&2
+        exit 1
+    fi
+done
+
 # Record the scheduler perf baseline: events/sec (calendar vs oracle)
 # and per-experiment wall-clock, plus the VRP backend axis (service
 # corpus + forwarder-heavy throughput on both tiers and the compiled
@@ -155,16 +177,18 @@ soak_threads="$(nproc 2>/dev/null || echo 1)"
 soak_counts="1"
 [ "$soak_threads" -eq 1 ] || soak_counts="1 $soak_threads"
 for nt in $soak_counts; do
-    soak_out="$(NPR_SIM_THREADS=$nt cargo test -q --release --offline -p npr-core --test soak 2>&1)" || {
+    for pkg in npr-core npr-fabric; do
+        soak_out="$(NPR_SIM_THREADS=$nt cargo test -q --release --offline -p $pkg --test soak 2>&1)" || {
+            echo "$soak_out"
+            echo "ERROR: chaos-soak gate ($pkg) failed at NPR_SIM_THREADS=$nt" >&2
+            exit 1
+        }
         echo "$soak_out"
-        echo "ERROR: chaos-soak gate failed at NPR_SIM_THREADS=$nt" >&2
-        exit 1
-    }
-    echo "$soak_out"
-    if ! echo "$soak_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
-        echo "ERROR: chaos-soak gate ran zero tests at NPR_SIM_THREADS=$nt" >&2
-        exit 1
-    fi
+        if ! echo "$soak_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+            echo "ERROR: chaos-soak gate ($pkg) ran zero tests at NPR_SIM_THREADS=$nt" >&2
+            exit 1
+        fi
+    done
 done
 
 # Record the graceful-degradation curves (Mpps vs fault rate per
@@ -211,6 +235,21 @@ if ! awk -v h="${zipf_hit:-0}" 'BEGIN { exit !(h >= 0.5) }'; then
     exit 1
 fi
 echo "route cache: zipf alpha=1.0 hit rate ${zipf_hit}"
+
+# Record the multi-chassis scaling sweeps (aggregate Mpps vs chassis
+# count per topology) and the compound-fault conservation soak. Every
+# soak run must report whole-fabric packet conservation holding — a
+# single "false" fails the gate.
+cargo run --release --offline -p npr-bench --bin experiments -- fabric --out BENCH_fabric.json
+if ! grep -q '"conservation_holds": true' BENCH_fabric.json; then
+    echo "ERROR: BENCH_fabric.json carries no conservation results" >&2
+    exit 1
+fi
+if grep -q '"conservation_holds": false' BENCH_fabric.json; then
+    echo "ERROR: whole-fabric conservation broke in a BENCH_fabric.json soak" >&2
+    exit 1
+fi
+echo "fabric: conservation holds in every compound-fault soak"
 
 
 # Hermetic-build gate: the dependency graph may contain only workspace
