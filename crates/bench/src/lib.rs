@@ -18,6 +18,7 @@ pub mod exp_control;
 pub mod exp_fabric;
 pub mod exp_faults;
 pub mod exp_figures;
+pub mod exp_qos;
 pub mod exp_recovery;
 pub mod exp_robustness;
 pub mod exp_route;
@@ -34,6 +35,7 @@ pub use exp_faults::{
     curves_json, fault_curve, fault_curves, fault_curves_threaded, FaultCurve, DEGRADE_RATES,
 };
 pub use exp_figures::{fig10, fig7, fig9, Fig10Point, Fig7Result, Fig9Series};
+pub use exp_qos::{qos_experiment, qos_json, QosResult};
 pub use exp_recovery::{recovery, recovery_json, RecoveryResult, RECOVERY_SEED};
 pub use exp_robustness::{budget, flood, linerate, robustness, slowpath, strongarm};
 pub use exp_route::{route_experiment, route_json, RouteResult};

@@ -9,6 +9,7 @@
 //!   control [--out PATH]
 //!   recovery [--out PATH]
 //!   route [--out PATH]
+//!   qos [--out PATH]
 //!   fabric [--out PATH]
 //!   all
 //! ```
@@ -17,8 +18,8 @@ use npr_bench::fmt;
 use npr_bench::{
     baseline, budget, control_json, control_storm, curves_json, fabric_experiment, fabric_json,
     fault_curves, fig10, fig7, fig9, flood, linerate, recovery, recovery_json, robustness,
-    route_experiment, route_json, slowpath, strongarm, table1, table2, table3, table4, table5_rows,
-    DEGRADE_RATES, WARMUP, WINDOW,
+    qos_experiment, qos_json, route_experiment, route_json, slowpath, strongarm, table1, table2,
+    table3, table4, table5_rows, DEGRADE_RATES, WARMUP, WINDOW,
 };
 use npr_forwarders::PadKind;
 
@@ -40,6 +41,8 @@ fn main() {
              \n                                       recovery episodes (PATH gets the JSON)\
              \n  route [--out PATH]                   internet-scale lookup, Zipf cache\
              \n                                       hit rate, churn storms (PATH gets JSON)\
+             \n  qos [--out PATH]                     per-flow queue manager: AQM sojourn\
+             \n                                       tails + flow isolation (PATH gets JSON)\
              \n  fabric [--out PATH]                  multi-chassis Mpps scaling per topology\
              \n                                       + fault soak (PATH gets the JSON)\
              \n  all                                  everything (default)\n\
@@ -326,6 +329,43 @@ fn main() {
             .and_then(|i| args.get(i + 1))
         {
             std::fs::write(p, route_json(&r)).expect("write BENCH_route.json");
+            eprintln!("wrote {p}");
+        }
+    }
+    if all || which == "qos" {
+        let r = qos_experiment();
+        println!("\n== Per-flow queue manager: AQM sojourn tails + isolation ==");
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>8}",
+            "aqm", "p50 us", "p99 us", "max us", "served", "early", "cap", "sojourn", "victim"
+        );
+        for p in &r.sojourn {
+            println!(
+                "{:<10} {:>9.1} {:>9.1} {:>9.1} {:>7} {:>7} {:>7} {:>9} {:>8.4}",
+                p.aqm,
+                p.p50_us,
+                p.p99_us,
+                p.max_us,
+                p.served,
+                p.early_drops,
+                p.cap_drops,
+                p.sojourn_drops,
+                p.victim_goodput
+            );
+        }
+        for p in &r.isolation {
+            println!(
+                "isolation {:<10} elephant {:>7.0} pps: victim {:.4} elephant {:.4} (p99 {:.1} us)",
+                p.aqm, p.elephant_pps, p.victim_goodput, p.elephant_goodput, p.p99_us
+            );
+        }
+        println!("(CoDel must hold p99 sojourn ≥2x below drop-tail; victims keep ≥90% goodput)");
+        if let Some(p) = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+        {
+            std::fs::write(p, qos_json(&r)).expect("write BENCH_qos.json");
             eprintln!("wrote {p}");
         }
     }

@@ -156,6 +156,32 @@ pub struct RouterConfig {
     /// a whole chassis (fabric member) or a whole scenario (sweeps),
     /// never an individual MicroEngine (DESIGN.md §13).
     pub sim_threads: usize,
+    /// Per-flow queue manager (`npr_core::qm`): flow queues per output
+    /// port, rounded up to a power of two and clamped by the memory
+    /// budget. `0` (the digest-recorded default) disables the manager
+    /// entirely — forwarded packets take the legacy `QueuePlane` path and
+    /// the golden digest is untouched.
+    pub qm_flows_per_port: usize,
+    /// Per-flow queue depth cap, in packets.
+    pub qm_flow_cap: usize,
+    /// Virtual-time width of one wheel slot, in bytes of weight-1 service.
+    /// Also the per-revolution burst a backlogged flow can take before the
+    /// wheel moves on (DRR-style quantum).
+    pub qm_quantum_bytes: u64,
+    /// Hard memory budget for the whole qm plane (all ports). The
+    /// constructor halves the flow count until the worst case fits
+    /// (DESIGN.md §16 has the math).
+    pub qm_mem_budget_bytes: usize,
+    /// Default AQM discipline for every port's flow plane.
+    pub qm_aqm: crate::aqm::AqmKind,
+    /// Per-port discipline overrides: `(port, kind)` pairs.
+    pub qm_port_aqm: Vec<(usize, crate::aqm::AqmKind)>,
+    /// RED thresholds/gain for ports running `AqmKind::Red`.
+    pub qm_red: crate::aqm::RedParams,
+    /// CoDel target/interval (simulated time) for `AqmKind::Codel` ports.
+    pub qm_codel: crate::aqm::CodelParams,
+    /// Seed for RED's per-port early-drop coin streams.
+    pub qm_seed: u64,
 }
 
 impl Default for RouterConfig {
@@ -204,6 +230,18 @@ impl Default for RouterConfig {
             health_check_conservation: false,
             vrp_backend: npr_vrp::VrpBackend::Compiled,
             sim_threads: 1,
+            qm_flows_per_port: 0,
+            qm_flow_cap: 32,
+            // ~2 minimum-size packets per slot: coarser quanta let a
+            // backlogged flow hold the wheel long enough to push a sparse
+            // flow's sojourn past the CoDel target on a 100 Mbps port.
+            qm_quantum_bytes: 128,
+            qm_mem_budget_bytes: 2 * 1024 * 1024,
+            qm_aqm: crate::aqm::AqmKind::DropTail,
+            qm_port_aqm: Vec::new(),
+            qm_red: crate::aqm::RedParams::default(),
+            qm_codel: crate::aqm::CodelParams::default(),
+            qm_seed: 0x51_0A7_BA7,
         }
     }
 }
@@ -289,6 +327,18 @@ impl RouterConfig {
             chip: ChipConfig::default(),
             traffic: TrafficTemplate::Sources,
             ..Self::default()
+        }
+    }
+
+    /// Line-rate sources with the per-flow queue manager engaged on every
+    /// port under discipline `aqm`: 256 flow queues per port, per-flow cap
+    /// 32. The QoS/isolation scenario the `qos` experiment and the qm test
+    /// suite build on.
+    pub fn per_flow_qos(aqm: crate::aqm::AqmKind) -> Self {
+        Self {
+            qm_flows_per_port: 256,
+            qm_aqm: aqm,
+            ..Self::line_rate()
         }
     }
 

@@ -123,6 +123,11 @@ pub struct HealthMonitor {
     pe_stalled: u32,
     pe_warned: bool,
     pe_jobs_snapshot: u64,
+    // Per-flow queue-manager overload tracking (the last rung of the
+    // qm degradation ladder: early-drop -> per-flow cap -> warn here).
+    qm_cap_snapshot: u64,
+    qm_overloaded: u32,
+    qm_warned: bool,
     // Overrun / trap tracking.
     ladders: HashMap<(WhereRun, u32), Ladder>,
     sa_stat_snapshot: HashMap<u32, FwdrStat>,
@@ -151,6 +156,9 @@ impl HealthMonitor {
             pe_stalled: 0,
             pe_warned: false,
             pe_jobs_snapshot: 0,
+            qm_cap_snapshot: 0,
+            qm_overloaded: 0,
+            qm_warned: false,
             ladders: HashMap::new(),
             sa_stat_snapshot: HashMap::new(),
             pe_stat_snapshot: HashMap::new(),
@@ -203,6 +211,7 @@ impl Router {
         }
         self.check_sa_wedge(at, crossed);
         self.check_pe_stall(crossed);
+        self.check_qm_overload(crossed);
         self.check_overruns(at);
         self.check_me_traps(at);
         if self.health.check_conservation && !self.conservation().holds() {
@@ -259,6 +268,31 @@ impl Router {
         self.health.pe_stalled += crossed;
         if self.health.pe_stalled >= self.health.wedge_epochs && !self.health.pe_warned {
             self.health.pe_warned = true;
+            self.health.stats.warnings += 1;
+        }
+    }
+
+    /// Overload detector for the per-flow queue manager, warn-only like
+    /// the Pentium stall check: sustained per-flow *cap* drops mean AQM
+    /// early-dropping has been overrun and flows are hitting their hard
+    /// bounds — the last rung of the graceful-degradation ladder before
+    /// an operator has to act. Inert (and digest-invisible) when the
+    /// manager is not installed; schedules nothing ever.
+    fn check_qm_overload(&mut self, crossed: u32) {
+        let Some(qm) = &self.world.qm else { return };
+        let cap = qm.cap_drops();
+        // `mark()` resets the plane's counters; a snapshot from before
+        // the reset would read as a spurious quiet epoch at worst.
+        let quiet = cap <= self.health.qm_cap_snapshot;
+        self.health.qm_cap_snapshot = cap;
+        if quiet {
+            self.health.qm_overloaded = 0;
+            self.health.qm_warned = false;
+            return;
+        }
+        self.health.qm_overloaded += crossed;
+        if self.health.qm_overloaded >= self.health.wedge_epochs && !self.health.qm_warned {
+            self.health.qm_warned = true;
             self.health.stats.warnings += 1;
         }
     }

@@ -83,6 +83,9 @@ pub struct InputLoop {
     verdict: Verdict,
     qid: usize,
     wfq_flow: Option<u16>,
+    /// Flow key of the start-of-packet MP, stashed for the per-flow
+    /// queue manager's hashed enqueue in `do_enqueue`.
+    flow_key: Option<FlowKey>,
     mutex: Option<MutexId>,
     vrp_cycles: u32,
     vrp_sram_left: u32,
@@ -127,6 +130,7 @@ impl InputLoop {
             verdict: Verdict::Forward,
             qid: 0,
             wfq_flow: None,
+            flow_key: None,
             mutex: None,
             vrp_cycles: 0,
             vrp_sram_left: 0,
@@ -151,6 +155,7 @@ impl InputLoop {
         self.vrp_cycles = 0;
         self.vrp_sram_left = 0;
         self.wfq_flow = None;
+        self.flow_key = None;
 
         let w: &mut RouterWorld = env.world;
 
@@ -268,6 +273,7 @@ impl InputLoop {
                     dport: 0,
                 },
             };
+            self.flow_key = Some(fkey);
             let has_extensions = w.classifier.flow_count() + w.classifier.general_count() > 0;
             let class = if has_extensions {
                 // 56-instruction extensible classifier, 20 B of SRAM —
@@ -456,6 +462,11 @@ impl InputLoop {
                     None => 0,
                 },
             };
+            if w.qm.is_some() {
+                // Per-flow queue manager: FNV hash plus two bitmap updates
+                // of register arithmetic on the enqueue side.
+                self.vrp_cycles += 16;
+            }
             self.qid = w.queues.qid(usize::from(out_port), prio);
             w.meta_mut(h).qid = self.qid as u16;
             if !mp.tag.ends_packet() {
@@ -588,7 +599,24 @@ impl InputLoop {
         match self.verdict {
             Verdict::Forward => {
                 if w.mode != RunMode::InputOnly {
-                    let admitted = w.queues.enqueue(self.qid, desc);
+                    // The per-flow queue manager, when installed, replaces
+                    // the legacy QueuePlane for forwarded packets: the flow
+                    // key hashes to a bounded per-flow queue and the port's
+                    // AQM discipline decides admission. Discards are
+                    // counted inside the plane (exactly one counter each);
+                    // like every other drop site, dropping never frees the
+                    // buffer — one-lap pool semantics.
+                    let meta = w.meta[h.index() as usize];
+                    let admitted = match (&mut w.qm, self.flow_key) {
+                        (Some(qm), Some(key)) => qm.enqueue(
+                            usize::from(meta.out_port),
+                            &key,
+                            desc,
+                            u32::from(meta.len.max(60)),
+                            env.now,
+                        ),
+                        _ => w.queues.enqueue(self.qid, desc),
+                    };
                     if admitted && w.traced_descs.contains(&desc) {
                         w.tracer.record(
                             env.now,

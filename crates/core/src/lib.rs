@@ -31,6 +31,7 @@
 //! assert!(report.forward_mpps > 2.0);
 //! ```
 
+pub mod aqm;
 pub mod classify;
 pub mod config;
 pub mod control;
@@ -42,6 +43,8 @@ pub mod output;
 pub mod pci;
 pub mod pe;
 pub mod plane;
+pub mod qm;
+pub mod qm_sched;
 pub mod queues;
 pub mod report;
 pub mod router;
@@ -51,6 +54,7 @@ pub mod trace;
 pub mod wfq;
 pub mod world;
 
+pub use aqm::{AqmKind, CodelParams, RedParams};
 pub use classify::{Classifier, FlowKey, Key, WhereRun};
 pub use config::{RouterConfig, TrafficTemplate};
 pub use control::InstalledEntry;
@@ -59,6 +63,8 @@ pub use health::{FwdrStat, HealthMonitor, HealthStats};
 pub use install::{AdmitError, Fid, InstallRequest};
 pub use pe::PeAction;
 pub use plane::{Bus, ControlOp, ControlVerb, CtlStats, Plane, PlaneEvent, PlaneId, PlaneSignal};
+pub use qm::QmPlane;
+pub use qm_sched::WheelSched;
 pub use queues::{InputDiscipline, OutputDiscipline, PacketQueue, QueuePlane};
 pub use report::{Conservation, Report};
 pub use router::{ms, us, Router};

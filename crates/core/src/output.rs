@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use npr_ixp::{CtxProgram, Env, MemKind, Op, PortId, RingId};
 use npr_packet::{BufferHandle, Mp, MpTag};
-use npr_sim::cycles_to_ps;
+use npr_sim::{cycles_to_ps, Time};
 
 use crate::costs::OutputCosts;
 use crate::queues::OutputDiscipline;
@@ -135,8 +135,9 @@ impl OutputLoop {
     }
 
     /// Picks the next packet (data side). Returns `false` when no work
-    /// is available.
-    fn select_packet(&mut self, w: &mut RouterWorld) -> bool {
+    /// is available. `now` drives the per-flow queue manager's
+    /// dequeue-time AQM (CoDel sojourn is simulated-clock arithmetic).
+    fn select_packet(&mut self, w: &mut RouterWorld, now: Time) -> bool {
         if self.current.is_some() {
             return true;
         }
@@ -155,28 +156,59 @@ impl OutputLoop {
             });
             return true;
         }
-        let desc = match self.discipline {
-            OutputDiscipline::SingleBatched => {
-                if self.batch.is_empty() {
-                    self.refilled = true;
-                    let qid = w.queues.qid(self.port, 0);
-                    for _ in 0..self.batch_max {
-                        match w.queues.dequeue(qid) {
-                            Some(d) => self.batch.push_back(d),
-                            None => break,
-                        }
+        // Per-flow queue manager: the timer wheel replaces the per-port
+        // descriptor rings as the source for classified fast-path
+        // traffic. Slow-plane reinjections (StrongARM/Pentium output,
+        // monitor forwarders) still land in the legacy rings, so when
+        // the wheel has nothing for this port we fall through to them —
+        // otherwise those packets would be stranded forever.
+        //
+        // The wheel is pulled once per transmission even under batched
+        // output: pre-fetching a batch ahead of the scheduler would
+        // freeze its decisions `batch_max` packet-times early and put a
+        // fixed sojourn floor under every flow (8 x 6.7 us at 100 Mbps
+        // — right at the CoDel target), which is exactly the latency a
+        // dequeue-time AQM exists to police. Only the descriptor-fetch
+        // *cost* is amortized: the periodic refill charge still lands
+        // every `batch_max` pulls.
+        let qm_desc = match &mut w.qm {
+            Some(qm) => {
+                if self.discipline == OutputDiscipline::SingleBatched {
+                    self.synth_ctr += 1;
+                    if (self.synth_ctr as usize).is_multiple_of(self.batch_max) {
+                        self.refilled = true;
                     }
                 }
-                self.batch.pop_front()
+                qm.dequeue(self.port, now)
             }
-            OutputDiscipline::SingleUnbatched => {
-                let qid = w.queues.qid(self.port, 0);
-                w.queues.dequeue(qid)
+            None => None,
+        };
+        let desc = if qm_desc.is_some() {
+            qm_desc
+        } else {
+            match self.discipline {
+                OutputDiscipline::SingleBatched => {
+                    if self.batch.is_empty() {
+                        self.refilled = true;
+                        let qid = w.queues.qid(self.port, 0);
+                        for _ in 0..self.batch_max {
+                            match w.queues.dequeue(qid) {
+                                Some(d) => self.batch.push_back(d),
+                                None => break,
+                            }
+                        }
+                    }
+                    self.batch.pop_front()
+                }
+                OutputDiscipline::SingleUnbatched => {
+                    let qid = w.queues.qid(self.port, 0);
+                    w.queues.dequeue(qid)
+                }
+                OutputDiscipline::MultiIndirect => w
+                    .queues
+                    .select_ready(self.port)
+                    .and_then(|qid| w.queues.dequeue(qid)),
             }
-            OutputDiscipline::MultiIndirect => w
-                .queues
-                .select_ready(self.port)
-                .and_then(|qid| w.queues.dequeue(qid)),
         };
         match desc {
             Some(d) => {
@@ -328,7 +360,7 @@ impl CtxProgram<RouterWorld> for OutputLoop {
                         _ => starting_new,
                     };
                     self.refilled = false;
-                    let got = self.select_packet(env.world);
+                    let got = self.select_packet(env.world, env.now);
                     self.phase = if !got {
                         Phase::NoWork
                     } else if need_head_read && env.world.mode != RunMode::OutputOnly {

@@ -88,6 +88,18 @@ pub struct Report {
     pub pci_retry_exhausted: u64,
     /// VRP interpreter traps in the window (counted, never aborting).
     pub vrp_traps: u64,
+    /// Per-flow queue manager: RED early drops at enqueue in the window.
+    pub qm_early_drops: u64,
+    /// Per-flow queue manager: per-flow cap (tail) drops in the window.
+    pub qm_cap_drops: u64,
+    /// Per-flow queue manager: CoDel sojourn drops at dequeue.
+    pub qm_sojourn_drops: u64,
+    /// Median queue sojourn through the per-flow plane, microseconds.
+    pub qm_sojourn_p50_us: f64,
+    /// 99th-percentile queue sojourn, microseconds.
+    pub qm_sojourn_p99_us: f64,
+    /// Packets served through the per-flow plane in the window.
+    pub qm_served: u64,
 }
 
 /// Packet-conservation ledger: every packet the input process admitted
@@ -174,7 +186,16 @@ impl Router {
             &self.sa.job,
             Some(j) if !matches!(j, crate::sa::SaJob::Control(_))
         );
+        // The per-flow queue manager, when installed, is the output
+        // queue: its occupancy is in flight and its discards (early,
+        // per-flow cap, sojourn — each counted exactly once) fold into
+        // the queue-drop term of the ledger.
+        let (qm_drops, qm_queued) = match &self.world.qm {
+            Some(qm) => (qm.total_drops(), qm.total_queued()),
+            None => (0, 0),
+        };
         let in_flight = self.world.queues.total_queued()
+            + qm_queued
             + self.world.sa_local_q.len()
             + self.world.sa_miss_q.len()
             + self.world.sa_pe_q.iter().map(|q| q.len()).sum::<usize>()
@@ -184,7 +205,7 @@ impl Router {
         Conservation {
             admitted: c.input_pkts.total(),
             transmitted: c.tx_pkts.total(),
-            queue_drops: self.world.queues.total_drops(),
+            queue_drops: self.world.queues.total_drops() + qm_drops,
             escalation_drops,
             no_route_drops: c.no_route_drops.total(),
             lap_losses: c.lap_losses.total(),
@@ -260,6 +281,15 @@ impl Router {
             mix(u64::from(id));
         }
         mix(self.world.counters.vrp_traps.total());
+        // Per-flow queue manager outcome, mixed only when the plane is
+        // installed so every fingerprint pinned before PR 10 still holds.
+        if let Some(qm) = &self.world.qm {
+            mix(qm.total_enqueued());
+            mix(qm.early_drops());
+            mix(qm.cap_drops());
+            mix(qm.sojourn_drops());
+            mix(qm.total_queued() as u64);
+        }
         h
     }
 
@@ -407,6 +437,20 @@ impl Router {
             recovery_latency_avg_us: hs.recovery_latency_avg_us(),
             pci_retry_exhausted: self.pci.exhausted(),
             vrp_traps: c.vrp_traps.since_mark(),
+            qm_early_drops: self.world.qm.as_ref().map_or(0, |q| q.early_drops()),
+            qm_cap_drops: self.world.qm.as_ref().map_or(0, |q| q.cap_drops()),
+            qm_sojourn_drops: self.world.qm.as_ref().map_or(0, |q| q.sojourn_drops()),
+            qm_sojourn_p50_us: self
+                .world
+                .qm
+                .as_ref()
+                .map_or(0.0, |q| q.sojourn_hist().percentile(50.0) as f64 / 1e6),
+            qm_sojourn_p99_us: self
+                .world
+                .qm
+                .as_ref()
+                .map_or(0.0, |q| q.sojourn_hist().percentile(99.0) as f64 / 1e6),
+            qm_served: self.world.qm.as_ref().map_or(0, |q| q.sojourn_samples()),
         }
     }
 }

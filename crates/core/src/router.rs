@@ -141,6 +141,7 @@ impl Router {
         }
         world.divert_pe_permille = cfg.divert_pe_permille;
         world.divert_sa_permille = cfg.divert_sa_permille;
+        world.qm = crate::qm::QmPlane::from_config(&cfg, nports);
         world.sa_pe_q = (0..cfg.pe_classes)
             .map(|_| crate::queues::PacketQueue::new(512))
             .collect();

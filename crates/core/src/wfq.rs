@@ -24,65 +24,145 @@ use crate::classify::FlowKey;
 /// Fixed-point scale for virtual time (per byte).
 const VSCALE: u64 = 256;
 
+/// Default bound on registered flows; beyond it, the least-recently
+/// charged flow is evicted and its slot recycled.
+pub const DEFAULT_MAX_FLOWS: usize = 4096;
+
 /// Per-flow scheduler state.
 #[derive(Debug, Clone, Copy)]
 struct WfqFlow {
     weight: u32,
     finish: u64,
     charged_bytes: u64,
+    /// Dead slots sit on the free list; charges to their stale ids are
+    /// ignored rather than corrupting the recycled flow's state.
+    live: bool,
+    /// Charge-op stamp of the flow's last admitted packet (LRU key).
+    last_active: u64,
 }
 
 /// The quantizing virtual-clock mapper.
+///
+/// Flow state is bounded: `with_bound` caps the slot vector, and once
+/// full, registering a new flow evicts the least-recently *charged* one
+/// and recycles its id. Under many-flow traffic (a 100k-flow sweep is
+/// the pinned regression) memory stays `O(max_flows)` while every
+/// actively charged flow keeps its id and its accumulated state.
 #[derive(Debug)]
 pub struct WfqMapper {
     flows: Vec<WfqFlow>,
+    /// Recycled slot ids from evicted flows.
+    free: Vec<u16>,
     vt: u64,
     levels: usize,
     /// Virtual-time width of one priority level.
     quantum: u64,
     total_weight: u64,
+    max_flows: usize,
+    /// Monotone charge-op counter driving the LRU stamps.
+    op: u64,
 }
 
 impl WfqMapper {
     /// Creates a mapper quantizing into `levels` priorities with the
     /// given per-level virtual-time `quantum` (in `VSCALE`-weighted
-    /// bytes).
+    /// bytes) and the default flow-state bound.
     pub fn new(levels: usize, quantum: u64) -> Self {
+        Self::with_bound(levels, quantum, DEFAULT_MAX_FLOWS)
+    }
+
+    /// As `new`, with an explicit bound on resident flow slots.
+    pub fn with_bound(levels: usize, quantum: u64, max_flows: usize) -> Self {
         Self {
             flows: Vec::new(),
+            free: Vec::new(),
             vt: 0,
             levels: levels.max(1),
             quantum: quantum.max(1),
             total_weight: 0,
+            max_flows: max_flows.clamp(1, usize::from(u16::MAX) + 1),
+            op: 0,
         }
     }
 
-    /// Registers a flow with `weight`; returns its id.
+    /// Registers a flow with `weight`; returns its id. Recycles a freed
+    /// slot when one exists; at the bound, evicts the least-recently
+    /// charged flow and reuses its id.
     pub fn add_flow(&mut self, weight: u32) -> u16 {
         let weight = weight.max(1);
-        self.flows.push(WfqFlow {
+        let id = if let Some(id) = self.free.pop() {
+            id
+        } else if self.flows.len() < self.max_flows {
+            self.flows.push(WfqFlow {
+                weight: 0,
+                finish: 0,
+                charged_bytes: 0,
+                live: false,
+                last_active: 0,
+            });
+            (self.flows.len() - 1) as u16
+        } else {
+            // Full and nothing free: evict the idlest live flow.
+            let victim = self
+                .flows
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_active)
+                .map(|(i, _)| i)
+                .expect("max_flows >= 1");
+            self.total_weight -= u64::from(self.flows[victim].weight);
+            victim as u16
+        };
+        self.op += 1;
+        self.flows[usize::from(id)] = WfqFlow {
             weight,
             finish: self.vt,
             charged_bytes: 0,
-        });
+            live: true,
+            last_active: self.op,
+        };
         self.total_weight += u64::from(weight);
-        (self.flows.len() - 1) as u16
+        id
     }
 
-    /// Number of registered flows.
+    /// Retires every live flow idle for more than `idle_ops` charge
+    /// operations, freeing its slot for reuse. Returns the evicted ids.
+    pub fn evict_idle(&mut self, idle_ops: u64) -> Vec<u16> {
+        let mut evicted = Vec::new();
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            if f.live && self.op.saturating_sub(f.last_active) > idle_ops {
+                f.live = false;
+                self.total_weight -= u64::from(f.weight);
+                self.free.push(i as u16);
+                evicted.push(i as u16);
+            }
+        }
+        evicted
+    }
+
+    /// Number of live flows.
     pub fn len(&self) -> usize {
+        self.flows.iter().filter(|f| f.live).count()
+    }
+
+    /// Resident flow slots (live + free); bounded by `max_flows`.
+    pub fn slots(&self) -> usize {
         self.flows.len()
     }
 
-    /// True when no flows are registered.
+    /// True when no flows are live.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.len() == 0
     }
 
     /// Priority level for the flow's next packet (0 = highest), from
-    /// its current lag. Does not charge anything.
+    /// its current lag. Does not charge anything. An evicted (stale) id
+    /// maps to the highest priority, exactly like a fresh flow.
     pub fn level_for(&self, flow: u16) -> usize {
         let f = &self.flows[usize::from(flow)];
+        if !f.live {
+            return 0;
+        }
         let lag = f.finish.saturating_sub(self.vt);
         ((lag / self.quantum) as usize).min(self.levels - 1)
     }
@@ -93,15 +173,23 @@ impl WfqMapper {
     }
 
     /// Charges an *admitted* packet of `bytes` to the flow (dropped
-    /// packets consume no service and must not be charged).
+    /// packets consume no service and must not be charged). A charge to
+    /// an evicted id is ignored — the id no longer names that flow.
     pub fn charge(&mut self, flow: u16, bytes: u32) {
         let cap = self.quantum * self.levels as u64;
+        self.op += 1;
+        let op = self.op;
+        let vt = self.vt;
         let f = &mut self.flows[usize::from(flow)];
+        if !f.live {
+            return;
+        }
+        f.last_active = op;
         f.charged_bytes += u64::from(bytes);
-        f.finish = f.finish.max(self.vt) + u64::from(bytes) * VSCALE / u64::from(f.weight);
+        f.finish = f.finish.max(vt) + u64::from(bytes) * VSCALE / u64::from(f.weight);
         // Bound the lag so a flow can always recover within one cap of
         // service (prevents long-term banking or starvation).
-        f.finish = f.finish.min(self.vt + cap);
+        f.finish = f.finish.min(vt + cap);
     }
 
     /// Advances the global clock by `bytes` of actual output service.
@@ -224,6 +312,68 @@ mod tests {
             h.served[usize::from(light)] > 0,
             "the lag cap guarantees eventual service"
         );
+    }
+
+    #[test]
+    fn hundred_k_flow_sweep_is_memory_bounded() {
+        // Pinned regression: before PR 10 `add_flow` pushed unboundedly,
+        // so a many-flow sweep grew `flows` to 100k entries. The bound
+        // caps resident slots and recycles ids.
+        let mut m = WfqMapper::with_bound(8, 2048, 512);
+        let mut ids = Vec::new();
+        for i in 0..100_000u32 {
+            let id = m.add_flow(1 + (i % 4));
+            m.charge(id, 64);
+            m.on_service(64);
+            ids.push(id);
+        }
+        assert!(m.slots() <= 512, "resident slots grew to {}", m.slots());
+        assert!(m.len() <= 512);
+        assert!(ids.iter().all(|&id| usize::from(id) < 512), "ids must stay within the bound");
+        // The mapper still works after heavy recycling.
+        let f = m.add_flow(10);
+        m.charge(f, 64);
+        assert!(m.level_for(f) < 8);
+    }
+
+    #[test]
+    fn eviction_prefers_idle_flows_and_preserves_active_ones() {
+        let mut m = WfqMapper::with_bound(8, 2048, 4);
+        let hot = m.add_flow(10);
+        for _ in 0..3 {
+            m.add_flow(1); // fills the table
+        }
+        // Keep `hot` freshly charged while registering a storm of new
+        // flows: LRU eviction must always pick one of the idle slots.
+        for _ in 0..50 {
+            m.charge(hot, 64);
+            let fresh = m.add_flow(1);
+            assert_ne!(fresh, hot, "recently charged flow must not be evicted");
+        }
+        assert_eq!(m.charged_bytes(hot), 50 * 64, "hot flow state survived the storm");
+    }
+
+    #[test]
+    fn evict_idle_frees_slots_and_ignores_stale_charges() {
+        let mut m = WfqMapper::with_bound(4, 1000, 16);
+        let a = m.add_flow(10);
+        let b = m.add_flow(10);
+        for _ in 0..20 {
+            m.charge(b, 64);
+        }
+        // `a` has been idle for all 20 charges; `b` is current.
+        let evicted = m.evict_idle(10);
+        assert_eq!(evicted, vec![a]);
+        assert_eq!(m.len(), 1);
+        let before = m.charged_bytes(b);
+        // A stale charge to the evicted id must not corrupt anything.
+        m.charge(a, 9999);
+        assert_eq!(m.level_for(a), 0);
+        assert_eq!(m.charged_bytes(b), before);
+        // The freed slot is recycled by the next registration.
+        let c = m.add_flow(5);
+        assert_eq!(c, a, "freed slot should be reused first");
+        assert_eq!(m.charged_bytes(c), 0, "recycled slot starts clean");
     }
 
     #[test]

@@ -255,6 +255,12 @@ pub struct RouterWorld {
     /// Input-side WFQ approximation (section 3.4.1's sketch): when set,
     /// unclaimed packets are assigned a priority level by the mapper.
     pub wfq: Option<crate::wfq::WfqState>,
+    /// Per-flow queue manager (`npr_core::qm`): when set, forwarded
+    /// packets bypass the legacy `QueuePlane` and are hashed into
+    /// bounded per-flow queues scheduled by the timer wheel, with the
+    /// port's AQM discipline deciding early drops. `None` (default)
+    /// keeps the legacy path byte-identical.
+    pub qm: Option<crate::qm::QmPlane>,
     /// Slow-path fragmentation MTU: when set, the StrongARM fragments
     /// oversized packets (RFC 791) instead of forwarding them whole.
     pub fragment_mtu: Option<usize>,
@@ -321,6 +327,7 @@ impl RouterWorld {
             signals: Vec::new(),
             exception_sa_fwdr: u32::MAX,
             wfq: None,
+            qm: None,
             fragment_mtu: None,
             tracer: crate::trace::Tracer::default(),
             traced_descs: std::collections::HashSet::new(),
@@ -395,6 +402,9 @@ impl RouterWorld {
         self.sa_miss_q.reset_stats();
         for q in &mut self.sa_pe_q {
             q.reset_stats();
+        }
+        if let Some(qm) = &mut self.qm {
+            qm.reset_stats();
         }
     }
 }

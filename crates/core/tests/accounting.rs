@@ -139,6 +139,53 @@ fn mid_assembly_lap_teardown_counts_each_packet_once() {
     );
 }
 
+/// Per-flow queue-manager drops: each AQM discipline sheds packets at
+/// a different site (RED at admission, the cap at admission, CoDel at
+/// dequeue), and each site must land in exactly one named counter —
+/// with the conservation ledger still closing, which is what proves
+/// no drop was double- or zero-counted.
+#[test]
+fn qm_drops_land_in_exactly_one_counter() {
+    use npr_core::AqmKind;
+    for aqm in [AqmKind::DropTail, AqmKind::Red, AqmKind::Codel] {
+        let mut r = Router::new(RouterConfig::per_flow_qos(aqm));
+        // Two CBR flows (distinct sources, so distinct flow queues)
+        // converge on port 2 at ~1.8x its wire capacity.
+        r.attach_cbr(0, 0.9, 500, 2);
+        r.attach_cbr(1, 0.9, 500, 2);
+        let c = drain_and_check(&mut r, "qm-drops");
+        let rep = r.report();
+        let qm_total = rep.qm_early_drops + rep.qm_cap_drops + rep.qm_sojourn_drops;
+        assert!(qm_total > 0, "{aqm:?}: 1.8x overload must shed packets");
+        match aqm {
+            // Drop-tail's only drop site is the per-flow cap.
+            AqmKind::DropTail => {
+                assert!(rep.qm_cap_drops > 0, "{aqm:?}: {rep:?}");
+                assert_eq!(rep.qm_early_drops, 0, "{aqm:?}: {rep:?}");
+                assert_eq!(rep.qm_sojourn_drops, 0, "{aqm:?}: {rep:?}");
+            }
+            // RED force-drops at its max threshold, which sits below
+            // the hard cap: the early counter absorbs everything.
+            AqmKind::Red => {
+                assert!(rep.qm_early_drops > 0, "{aqm:?}: {rep:?}");
+                assert_eq!(rep.qm_cap_drops, 0, "{aqm:?}: {rep:?}");
+                assert_eq!(rep.qm_sojourn_drops, 0, "{aqm:?}: {rep:?}");
+            }
+            // CoDel sheds at head-of-line on dequeue; under this much
+            // overload the tail cap engages as well. Both are counted,
+            // never RED's admission counter.
+            AqmKind::Codel => {
+                assert!(rep.qm_sojourn_drops > 0, "{aqm:?}: {rep:?}");
+                assert_eq!(rep.qm_early_drops, 0, "{aqm:?}: {rep:?}");
+            }
+        }
+        // The qm drops are folded into the conservation queue_drops
+        // term (they share it with legacy ring overflows).
+        assert!(c.queue_drops >= qm_total, "{aqm:?}: {c:?} vs {qm_total}");
+        assert!(rep.qm_served > 0, "{aqm:?}: port still forwards under overload");
+    }
+}
+
 /// The no-route counter still accounts packets that miss the table
 /// when no exception handler is installed (regression guard for the
 /// audit: this site was already correct and must stay so).

@@ -12,5 +12,6 @@ pub mod sources;
 
 pub use build::{mpls_frame, tcp_frame, udp_frame, FrameSpec};
 pub use sources::{
-    CbrSource, MixSource, PoissonSource, SynFloodSource, TcpFlowSource, TraceSource, ZipfSource,
+    CbrSource, MixSource, PoissonSource, SynFloodSource, TcpFlowSource, TcpMixSource, TraceSource,
+    ZipfSource,
 };

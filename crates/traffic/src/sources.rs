@@ -278,6 +278,63 @@ impl TrafficSource for MixSource {
     }
 }
 
+/// The TCP-mix overload scenario for the per-flow queue manager: `n`
+/// well-behaved ("victim") TCP conversations, each paced at its fair
+/// share or below, merged with one unresponsive UDP elephant blasting at
+/// a configured rate regardless of loss. Victims get distinct source
+/// ports starting at [`TcpMixSource::VICTIM_SPORT0`]; the elephant sends
+/// from [`TcpMixSource::ELEPHANT_SPORT`], so every flow hashes to its
+/// own queue key and the qm plane's isolation can be measured per flow.
+pub struct TcpMixSource {
+    inner: MixSource,
+}
+
+impl TcpMixSource {
+    /// Source port of victim flow `i` is `VICTIM_SPORT0 + i`.
+    pub const VICTIM_SPORT0: u16 = 20_000;
+    /// Source port of the unresponsive elephant.
+    pub const ELEPHANT_SPORT: u16 = 9_999;
+
+    /// `victims` paced TCP flows at `victim_pps` each plus one elephant
+    /// at `elephant_pps`, all using `spec` for addresses, frame length,
+    /// and destination port. Each source is bounded by `remaining_each`
+    /// packets.
+    pub fn new(
+        spec: FrameSpec,
+        victims: usize,
+        victim_pps: f64,
+        elephant_pps: f64,
+        remaining_each: u64,
+    ) -> Self {
+        let mut sources: Vec<Box<dyn TrafficSource>> = Vec::with_capacity(victims + 1);
+        for i in 0..victims {
+            let vspec = FrameSpec {
+                sport: Self::VICTIM_SPORT0 + i as u16,
+                ..spec
+            };
+            sources.push(Box::new(TcpFlowSource::new(vspec, victim_pps, remaining_each, 0)));
+        }
+        let espec = FrameSpec {
+            sport: Self::ELEPHANT_SPORT,
+            ..spec
+        };
+        // An unresponsive sender is just CBR that never backs off:
+        // express the target pps as 100% of an equivalent line rate.
+        let wire_bits = ((espec.len.max(60) + WIRE_OVERHEAD) * 8) as u64;
+        let eq_line_bps = (elephant_pps * wire_bits as f64) as u64;
+        sources.push(Box::new(CbrSource::new(eq_line_bps, 1.0, espec, remaining_each)));
+        Self {
+            inner: MixSource::new(sources),
+        }
+    }
+}
+
+impl TrafficSource for TcpMixSource {
+    fn next_frame(&mut self) -> Option<(Time, Frame)> {
+        self.inner.next_frame()
+    }
+}
+
 /// Replays an explicit list of `(time, frame)` pairs.
 pub struct TraceSource {
     items: std::vec::IntoIter<(Time, Frame)>,
@@ -383,5 +440,39 @@ mod tests {
         let mut m = MixSource::new(vec![Box::new(a), Box::new(b)]);
         let order: Vec<Time> = std::iter::from_fn(|| m.next_frame().map(|(t, _)| t)).collect();
         assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn tcp_mix_keeps_flows_distinct_and_elephant_dominant() {
+        // 4 victims at 1 Kpps each vs a 20 Kpps elephant, for 1 ms.
+        let mut s = TcpMixSource::new(FrameSpec::default(), 4, 1_000.0, 20_000.0, 1_000_000);
+        let mut last_t = 0;
+        let mut per_sport = std::collections::HashMap::new();
+        while let Some((t, f)) = s.next_frame() {
+            if t > PS_PER_SEC / 1000 {
+                break;
+            }
+            assert!(t >= last_t, "merge must be time-ordered");
+            last_t = t;
+            let sport = u16::from_be_bytes([f[34], f[35]]);
+            *per_sport.entry(sport).or_insert(0u64) += 1;
+        }
+        // Elephant plus every victim appeared, each under its own sport.
+        let e = per_sport[&TcpMixSource::ELEPHANT_SPORT];
+        for i in 0..4u16 {
+            let v = per_sport[&(TcpMixSource::VICTIM_SPORT0 + i)];
+            assert!((1..=2).contains(&v), "victim {i} sent {v} in 1 ms at 1 Kpps");
+            assert!(e > 5 * v, "elephant ({e}) must dwarf victim {i} ({v})");
+        }
+        assert_eq!(per_sport.len(), 5, "exactly five distinct flows");
+    }
+
+    #[test]
+    fn tcp_mix_replays_bit_identically() {
+        let run = || {
+            let mut s = TcpMixSource::new(FrameSpec::default(), 3, 2_000.0, 50_000.0, 200);
+            std::iter::from_fn(|| s.next_frame()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

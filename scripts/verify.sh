@@ -164,6 +164,21 @@ if ! echo "$fault_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
     exit 1
 fi
 
+# The per-flow queue-manager suite is the overload-isolation gate: run
+# it explicitly in release so the wheel-vs-oracle property suite and
+# the AQM thread-invariance sweep execute at full case counts, and
+# fail if it ran zero tests.
+qm_out="$(cargo test -q --release --offline -p npr-core --test qm 2>&1)" || {
+    echo "$qm_out"
+    echo "ERROR: queue-manager suite failed" >&2
+    exit 1
+}
+echo "$qm_out"
+if ! echo "$qm_out" | grep -Eq '^test result: ok\. [1-9][0-9]* passed'; then
+    echo "ERROR: queue-manager suite ran zero tests" >&2
+    exit 1
+fi
+
 # Chaos-soak gate: one long seeded run with every fault class armed at
 # once; conservation must hold, no StrongARM stall may outlive the
 # health watchdog's detection bound, and the whole run is capped on
@@ -251,6 +266,28 @@ if grep -q '"conservation_holds": false' BENCH_fabric.json; then
 fi
 echo "fabric: conservation holds in every compound-fault soak"
 
+# Record the QoS sweeps: sojourn distribution per AQM discipline at the
+# standard bufferbloat overload, plus the elephant-ramp isolation
+# curve. Two gates ride on the file: CoDel must hold p99 sojourn to at
+# most half of drop-tail's (the point of a dequeue-time AQM), and no
+# scenario may push any victim flow's goodput below 90% (the point of
+# per-flow queues).
+cargo run --release --offline -p npr-bench --bin experiments -- qos --out BENCH_qos.json
+dt_p99="$(grep '"early_drops"' BENCH_qos.json | grep '"drop_tail"' \
+    | grep -o '"p99_us": [0-9.]*' | grep -o '[0-9.]*$')"
+cd_p99="$(grep '"early_drops"' BENCH_qos.json | grep '"codel"' \
+    | grep -o '"p99_us": [0-9.]*' | grep -o '[0-9.]*$')"
+if ! awk -v c="${cd_p99:-1e9}" -v d="${dt_p99:-0}" 'BEGIN { exit !(c * 2 <= d) }'; then
+    echo "ERROR: CoDel p99 sojourn ${cd_p99:-missing}us not 2x better than drop-tail ${dt_p99:-missing}us" >&2
+    exit 1
+fi
+starved="$(grep -o '"victim_goodput": [0-9.]*' BENCH_qos.json \
+    | grep -o '[0-9.]*$' | awk '$1 < 0.9')"
+if [ -n "$starved" ]; then
+    echo "ERROR: victim goodput under 0.9 in BENCH_qos.json: $starved" >&2
+    exit 1
+fi
+echo "qos: codel p99 ${cd_p99}us vs drop-tail ${dt_p99}us; all victim goodputs >= 0.9"
 
 # Hermetic-build gate: the dependency graph may contain only workspace
 # crates. Check both the resolved tree and the lockfile.
